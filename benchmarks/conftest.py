@@ -1,0 +1,38 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (§5) and
+prints/saves the rows.  The heavy pipeline state (netlists, SP profiles,
+aging STA, lifted test suites, failing netlists) is built once per
+session and shared through :func:`repro.core.experiments.default_context`.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Generated tables land in ``benchmarks/results/`` so EXPERIMENTS.md can
+reference them.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core.experiments import default_context
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return default_context()
+
+
+@pytest.fixture(scope="session")
+def save_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _save

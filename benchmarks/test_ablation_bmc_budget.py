@@ -1,0 +1,52 @@
+"""Ablation — BMC conflict budget vs formal-failure (FF) outcomes.
+
+The paper's Table 4 has FF entries: queries where the formal tool gave
+up.  Our CDCL solver carries an explicit conflict budget; sweeping it
+shows the trade-off between verification effort and the fraction of
+pairs left unresolved — and that the main experiments' budget is deep
+inside the all-resolved regime.
+"""
+
+from repro.core.config import ErrorLiftingConfig
+from repro.lifting.lifter import ErrorLifter, PairOutcome
+
+BUDGETS = (1, 5, 50, 1_000, 200_000)
+
+
+def test_ablation_conflict_budget_sweep(ctx, benchmark, save_table):
+    unit = ctx.fpu
+    violations = unit.sta_result.report.representative_violations()[:8]
+
+    def lift_all(budget):
+        lifter = ErrorLifter(
+            unit.netlist,
+            ErrorLiftingConfig(bmc_conflict_budget=budget, bmc_depth=4),
+            unit.mapper,
+        )
+        outcomes = [lifter.lift_pair(v).outcome for v in violations]
+        return outcomes
+
+    rows = ["budget  | S | UR | FF | FC"]
+    ff_by_budget = {}
+    for budget in BUDGETS:
+        outcomes = lift_all(budget)
+        counts = {o: outcomes.count(o) for o in PairOutcome}
+        ff_by_budget[budget] = counts[PairOutcome.FORMAL_FAILURE]
+        rows.append(
+            f"{budget:7d} | {counts[PairOutcome.CONSTRUCTED]} | "
+            f"{counts[PairOutcome.UNREALIZABLE]:2d} | "
+            f"{counts[PairOutcome.FORMAL_FAILURE]:2d} | "
+            f"{counts[PairOutcome.CONVERSION_FAILURE]}"
+        )
+    save_table("ablation_bmc_budget", "\n".join(rows))
+
+    # Starving the solver produces FF outcomes; the production budget
+    # resolves everything.
+    assert ff_by_budget[BUDGETS[0]] > 0
+    assert ff_by_budget[BUDGETS[-1]] == 0
+    # FF count decreases (weakly) as the budget grows.
+    ordered = [ff_by_budget[b] for b in BUDGETS]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:]))
+
+    result = benchmark(lift_all, 1_000)
+    assert result is not None

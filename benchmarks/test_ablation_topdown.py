@@ -1,0 +1,70 @@
+"""Ablation — bottom-up (Vega) vs top-down (SiliFuzz-style) testing.
+
+The paper's §6.1 contrasts the approaches qualitatively: top-down
+frameworks "produce a large volume of tests" for broad coverage, while
+Vega's targeted suites are small enough to run per second.  This
+benchmark makes the trade-off quantitative on our ALU failures:
+
+* detection rate of a snapshot corpus vs Vega's suite, and
+* the *cycle cost* at which each reaches its rate — the axis that
+  decides whether tests can live inside an application.
+"""
+
+from repro.baselines.silifuzz_lite import SiliFuzzLite
+from repro.cpu.cosim import GateAluBackend
+from repro.lifting.models import CMode
+
+CORPUS_SIZES = (4, 16, 64)
+
+
+def test_ablation_topdown_vs_bottom_up(ctx, benchmark, save_table):
+    unit = ctx.alu
+    suite = unit.suite(False)
+    suite_cycles = suite.suite_cycles()
+    failing = [
+        f for f in unit.failing_netlists() if f.model.c_mode is CMode.ONE
+    ]
+    assert failing
+
+    fuzzer = SiliFuzzLite("alu", seed=5)
+    rows = [
+        "approach          | tests | cycles/pass | detected",
+        f"vega (bottom-up)  | {len(suite.test_cases):5d} | "
+        f"{suite_cycles:11d} | "
+        + "/".join(
+            "hit" if unit.run_suite_against(suite, f.netlist).detected
+            else "miss"
+            for f in failing
+        ),
+    ]
+    vega_detect = all(
+        unit.run_suite_against(suite, f.netlist).detected for f in failing
+    )
+    corpus_results = {}
+    for size in CORPUS_SIZES:
+        corpus = fuzzer.corpus(size)
+        total_cycles = sum(s.cycles for s in corpus)
+        hits = []
+        for fail in failing:
+            verdict = fuzzer.detects(
+                corpus, alu=GateAluBackend(fail.netlist)
+            )
+            hits.append(verdict["detected"])
+        corpus_results[size] = (total_cycles, hits)
+        rows.append(
+            f"silifuzz-lite x{size:3d} | {size:5d} | {total_cycles:11d} | "
+            + "/".join("hit" if h else "miss" for h in hits)
+        )
+    save_table("ablation_topdown_vs_bottomup", "\n".join(rows))
+
+    # Vega detects everything at its (small) cycle budget.
+    assert vega_detect
+    # The top-down corpus eventually detects too — by volume...
+    largest = corpus_results[CORPUS_SIZES[-1]]
+    assert all(largest[1])
+    # ...but needs far more cycles per pass than Vega's suite.
+    assert largest[0] > 5 * suite_cycles
+
+    # Benchmark: generating + golden-running a small corpus.
+    result = benchmark(fuzzer.corpus, 8)
+    assert len(result) == 8

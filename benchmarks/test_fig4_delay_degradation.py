@@ -1,0 +1,45 @@
+"""Figure 4 — switching-delay degradation of a 28 nm XOR cell vs SP.
+
+Paper shape: a family of curves over a 10-year span, ordered by signal
+probability (low SP = more pull-up stress = faster degradation), with
+the reaction-diffusion t^(1/6) front-loading.
+"""
+
+from repro.aging.charlib import AgingTimingLibrary, degradation_curve
+from repro.netlist.cells import VEGA28
+
+SP_LEVELS = (0.1, 0.25, 0.5, 0.75, 0.9)
+YEARS = (0.5, 1, 2, 4, 6, 8, 10)
+
+
+def test_fig4_xor_degradation_curves(benchmark, save_table):
+    xor_cell = VEGA28["XOR2"]
+
+    def compute():
+        return {
+            sp: degradation_curve(xor_cell, VEGA28, sp, YEARS)
+            for sp in SP_LEVELS
+        }
+
+    curves = benchmark(compute)
+
+    header = "SP    " + "".join(f"{y:>8}y" for y in YEARS)
+    lines = [header]
+    for sp in SP_LEVELS:
+        lines.append(
+            f"{sp:<6}" + "".join(f"{v:>8.2f}%" for v in curves[sp])
+        )
+    save_table("fig4_xor_delay_degradation", "\n".join(lines))
+
+    # Shape assertions.
+    for sp in SP_LEVELS:
+        curve = curves[sp]
+        assert curve == sorted(curve), "degradation grows with time"
+        # Front-loading: >= 60% of the 10-year shift within year one.
+        assert curve[1] > 0.60 * curve[-1]
+    for low, high in zip(SP_LEVELS, SP_LEVELS[1:]):
+        assert all(
+            a > b for a, b in zip(curves[low], curves[high])
+        ), "lower SP ages faster"
+    # Worst curve tops out in the ~6% region the paper reports.
+    assert 4.0 < curves[0.1][-1] < 8.0

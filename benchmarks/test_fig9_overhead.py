@@ -1,0 +1,74 @@
+"""Figure 9 — runtime overhead of profile-guided test integration.
+
+Every embench-style workload is profiled, spliced with the aging test
+suite at a routinely-but-not-hotly executed block, and re-run.  "-N"
+uses the suites built without the §3.3.4 mitigation, "-M" the suites
+built with it, matching the paper's configuration labels.
+
+Paper shape: average overhead below ~1% with several benchmarks in the
+measurement noise; correctness of every workload is preserved.
+"""
+
+from repro.core.config import TestIntegrationConfig
+from repro.cpu.cpu import run_program
+from repro.integration.library_gen import AgingLibrary
+from repro.integration.profile import ProfileGuidedIntegrator
+from repro.workloads import WORKLOADS
+
+OVERHEAD_THRESHOLD = 0.01
+
+
+def _combined_library(ctx, mitigation: bool) -> AgingLibrary:
+    """ALU + FPU tests in one library, as an application would embed."""
+    library = AgingLibrary(
+        name=f"vega_all_{'m' if mitigation else 'n'}"
+    )
+    library.test_cases.extend(ctx.alu.suite(mitigation).test_cases)
+    library.test_cases.extend(ctx.fpu.suite(mitigation).test_cases)
+    return library
+
+
+def test_fig9_integration_overhead(ctx, benchmark, save_table):
+    config = TestIntegrationConfig(overhead_threshold=OVERHEAD_THRESHOLD)
+    rows = ["workload    | baseline cycles | -N overhead | -M overhead | gated(-N)"]
+    overheads = {"-N": [], "-M": []}
+    apps = {}
+    for name in sorted(WORKLOADS):
+        workload = WORKLOADS[name]
+        baseline = run_program(workload.source)
+        entry = {"base": baseline.cycles}
+        for label, mitigation in (("-N", False), ("-M", True)):
+            library = _combined_library(ctx, mitigation)
+            integrator = ProfileGuidedIntegrator(library, config)
+            app = integrator.integrate(workload.source)
+            result, fault = app.run()
+            assert not fault, f"{name}{label}: spurious fault"
+            assert result.exit_value == baseline.exit_value, (
+                f"{name}{label}: result corrupted by integration"
+            )
+            overhead = result.cycles / baseline.cycles - 1.0
+            overheads[label].append(overhead)
+            entry[label] = (overhead, app.plan)
+            apps[(name, label)] = app
+        rows.append(
+            f"{name:11s} | {entry['base']:15d} | "
+            f"{100*entry['-N'][0]:10.2f}% | {100*entry['-M'][0]:10.2f}% | "
+            f"N={entry['-N'][1].gate_period}"
+        )
+    mean_n = 100 * sum(overheads["-N"]) / len(overheads["-N"])
+    mean_m = 100 * sum(overheads["-M"]) / len(overheads["-M"])
+    rows.append(f"{'average':11s} | {'':15s} | {mean_n:10.2f}% | {mean_m:10.2f}% |")
+    save_table("fig9_integration_overhead", "\n".join(rows))
+
+    # Headline claim: average overhead is small (paper: 0.8%).  The
+    # integrator's own estimate is held to the 1% threshold; measured
+    # cycles stay within a small multiple of it.
+    assert mean_n < 5.0
+    assert mean_m < 5.0
+    for label in ("-N", "-M"):
+        assert all(o < 0.15 for o in overheads[label])
+
+    # Benchmark: one integrated run of the quickest workload.
+    app = apps[("minver", "-N")]
+    result, fault = benchmark(app.run)
+    assert not fault

@@ -1,0 +1,68 @@
+"""Table 3 — WNS and violated-path counts from aging-aware STA.
+
+Paper shape: both units sign off fresh; after 10 years the FPU shows
+two orders of magnitude more setup violations than the ALU (1,363 vs
+11 paths; 41 vs 6 unique endpoint pairs), hold violations appear only
+in the FPU (3 paths at -1 ps, from clock-gating-induced phase shift),
+and the ALU has none.
+"""
+
+from repro.sta.timing import DelayModel, StaticTimingAnalyzer
+
+
+def test_table3_sta_violations(ctx, benchmark, save_table):
+    alu = ctx.alu.sta_result
+    fpu = ctx.fpu.sta_result
+
+    lines = [
+        "Unit | WNS setup | # setup paths (pairs) | WNS hold | # hold paths (pairs) | period",
+    ]
+    for name, result in (("ALU", alu), ("FPU", fpu)):
+        report = result.report
+        setup = report.setup_violations()
+        hold = report.hold_violations()
+        lines.append(
+            f"{name}  | {report.wns_setup_ns*1000:8.1f}ps | "
+            f"{len(setup):5d} ({len(report.unique_endpoint_pairs('setup')):3d})"
+            f"{' [capped]' if report.truncated else ''} | "
+            f"{report.wns_hold_ns*1000:7.2f}ps | "
+            f"{len(hold):3d} ({len(report.unique_endpoint_pairs('hold')):2d}) | "
+            f"{result.period_ns:.3f}ns"
+        )
+    save_table("table3_sta_violations", "\n".join(lines))
+
+    # Fresh designs meet timing (the sign-off premise).
+    assert alu.fresh_report.violations == []
+    assert fpu.fresh_report.violations == []
+    # Aged: ALU has a handful of setup violations, no hold.
+    assert 1 <= len(alu.report.setup_violations()) <= 100
+    assert alu.report.hold_violations() == []
+    # FPU: far more setup violations than the ALU, and >= 1 hold
+    # violation from gating-induced clock phase shift.
+    assert len(fpu.report.setup_violations()) > 10 * len(
+        alu.report.setup_violations()
+    )
+    assert len(fpu.report.hold_violations()) >= 1
+    hold_pairs = fpu.report.unique_endpoint_pairs("hold")
+    assert ("v_q_r0", "ov_q_r0") in hold_pairs
+    # Hold WNS is marginal (paper: -1 ps), setup WNS much deeper.
+    assert -0.02 < fpu.report.wns_hold_ns < 0
+    assert fpu.report.wns_setup_ns < alu.report.wns_setup_ns < 0
+
+    # Benchmark: one full STA check pass on the aged FPU model.
+    sta = ctx.fpu
+    from repro.sta.aging_sta import AgingAwareSta
+
+    aged_model, _ = AgingAwareSta(
+        sta.netlist,
+        ctx.timing_lib,
+        config=ctx.config.aging,
+        gated_instances=sta.gated_instances(),
+    ).aged_delay_model(sta.sp_profile)
+
+    def run_check():
+        analyzer = StaticTimingAnalyzer(sta.netlist, aged_model)
+        return analyzer.check(fpu.period_ns, max_paths_per_endpoint=10)
+
+    report = benchmark(run_check)
+    assert report.setup_violations()

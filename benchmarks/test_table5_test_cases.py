@@ -1,0 +1,41 @@
+"""Table 5 — number of generated test cases and their cycle cost.
+
+Paper shape: the whole suite executes in hundreds (ALU) to one-to-two
+thousand (FPU) cycles — small enough for per-second scheduling — and
+the mitigation roughly doubles both counts (2 -> 4 variants per pair).
+"""
+
+
+def test_table5_suite_sizes_and_cycles(ctx, benchmark, save_table):
+    rows = ["Unit | Mitigation | test cases | cycles"]
+    data = {}
+    for unit_name in ("alu", "fpu"):
+        unit = ctx.unit(unit_name)
+        for mitigation in (False, True):
+            suite = unit.suite(mitigation)
+            cycles = suite.suite_cycles()
+            data[(unit_name, mitigation)] = (len(suite.test_cases), cycles)
+            rows.append(
+                f"{unit_name.upper():4s} | {'w/ ' if mitigation else 'w/o'}       "
+                f"| {len(suite.test_cases):10d} | {cycles}"
+            )
+    save_table("table5_test_cases", "\n".join(rows))
+
+    alu_plain = data[("alu", False)]
+    fpu_plain = data[("fpu", False)]
+    # Suites stay compact: hundreds to a couple thousand cycles.
+    assert 0 < alu_plain[1] < 3000
+    assert 0 < fpu_plain[1] < 12000
+    # The FPU suite is larger than the ALU's (more aging-prone pairs).
+    assert fpu_plain[0] > alu_plain[0]
+    # Mitigation produces more tests (up to 2x) at higher cycle cost.
+    for unit_name in ("alu", "fpu"):
+        plain = data[(unit_name, False)]
+        mitigated = data[(unit_name, True)]
+        assert plain[0] <= mitigated[0] <= 2 * plain[0]
+        assert mitigated[1] >= plain[1]
+
+    # Benchmark: one fault-free execution of the ALU suite.
+    suite = ctx.alu.suite(False)
+    result = benchmark(suite.run_suite)
+    assert not result.detected

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The software aging library (§3.4.1): artifacts and scheduling.
+
+Shows the three packaging forms of a generated test suite:
+
+* the C source artifact with inline assembly and scheduling helpers,
+* the standalone assembly suite for bare-metal execution, and
+* the Python runner with sequential/random scheduling and the
+  exception-raising fault hook.
+
+Run:  python examples/aging_library_demo.py
+"""
+
+from repro.cpu.alu_design import build_alu
+from repro.cpu.cosim import GateAluBackend
+from repro.cpu.mappers import AluMapper
+from repro.core.config import ErrorLiftingConfig
+from repro.integration.library_gen import AgingFaultDetected, AgingLibrary
+from repro.lifting.instrument import make_failing_netlist
+from repro.lifting.lifter import ErrorLifter
+from repro.lifting.models import CMode, FailureModel, ViolationKind
+from repro.sta.timing import TimingViolation
+
+
+def main() -> None:
+    alu = build_alu()
+    # Lift two concrete aging-prone pairs directly (skipping the STA
+    # phase keeps this demo fast; see alu_workflow.py for the full
+    # pipeline).
+    lifter = ErrorLifter(alu, ErrorLiftingConfig(), AluMapper())
+    violations = [
+        TimingViolation("setup", "a_q_r0", "res_q_r1", ("u1",), 6.1, 6.0),
+        TimingViolation("setup", "b_q_r3", "res_q_r4", ("u2",), 6.1, 6.0),
+    ]
+    cases = []
+    for violation in violations:
+        cases.extend(lifter.lift_pair(violation).test_cases)
+    library = AgingLibrary(name="demo", test_cases=cases, seed=7)
+    print(f"Library with {len(library.test_cases)} tests\n")
+
+    print("--- C artifact (first 40 lines) " + "-" * 20)
+    for line in library.c_source().splitlines()[:40]:
+        print(line)
+
+    print("\n--- assembly suite (first 25 lines) " + "-" * 16)
+    for line in library.suite_source().splitlines()[:25]:
+        print(line)
+
+    print("\n--- scheduling strategies " + "-" * 26)
+    print("sequential order:", library.order("sequential"))
+    print("random order:    ", library.order("random"))
+
+    print("\n--- exception-style fault reporting " + "-" * 16)
+    model = FailureModel("a_q_r0", "res_q_r1", ViolationKind.SETUP, CMode.ONE)
+    failing = make_failing_netlist(alu, model)
+    try:
+        library.raise_on_fault(
+            library.run_suite(alu=GateAluBackend(failing.netlist))
+        )
+        print("suite passed (failure not activated by this order)")
+    except AgingFaultDetected as fault:
+        print(f"caught: {fault}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Transistor-aging models: BTI physics, timing-library characterization."""
+
+from .bti import (
+    BOLTZMANN_EV,
+    SECONDS_PER_YEAR,
+    BtiParameters,
+    DEFAULT_BTI,
+    cell_delta_vth,
+    delay_factor,
+    delta_vth,
+    recovery_fraction,
+)
+from .charlib import AgingTimingLibrary, CellAgingTable, degradation_curve
+from .corners import OperatingCorner, TYPICAL_CORNER, WORST_CORNER
+from .em import (
+    DEFAULT_EM,
+    EmParameters,
+    EmReport,
+    IrDropReport,
+    electromigration_analysis,
+    ir_drop_analysis,
+)
+
+__all__ = [
+    "BOLTZMANN_EV",
+    "SECONDS_PER_YEAR",
+    "BtiParameters",
+    "DEFAULT_BTI",
+    "cell_delta_vth",
+    "delay_factor",
+    "delta_vth",
+    "recovery_fraction",
+    "AgingTimingLibrary",
+    "CellAgingTable",
+    "degradation_curve",
+    "OperatingCorner",
+    "TYPICAL_CORNER",
+    "WORST_CORNER",
+    "DEFAULT_EM",
+    "EmParameters",
+    "EmReport",
+    "IrDropReport",
+    "electromigration_analysis",
+    "ir_drop_analysis",
+]

@@ -1,0 +1,171 @@
+"""Electromigration and dynamic IR-drop analysis — §6.3 extensions.
+
+    "The Aging Analysis phase can be expanded to analyze further
+    circuit reliability issues, such as dynamic IR drop and
+    electromigration.  Similar to transistor aging, these issues have
+    also been well-studied at the transistor and gate level."
+
+This module adds both analyses on top of the switching-activity profile
+(:class:`~repro.sim.probes.ActivityProfile`):
+
+* **Electromigration** — sustained current through a wire slowly voids
+  the metal.  Black's equation gives the mean time to failure::
+
+      MTTF = A / J^n * exp(Ea / kT)
+
+  with current density J proportional to the net's average switching
+  current (toggle rate x driven capacitance, approximated by fanout).
+  The analysis reports per-net MTTF and the nets below a mission
+  lifetime.
+
+* **Dynamic IR drop** — simultaneous switching draws supply current
+  spikes.  A windowed sum of toggle activity over the netlist estimates
+  peak demand; cells whose neighbourhoods exceed a budget are flagged,
+  since localized droop slows gates exactly like aging does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..netlist.netlist import Netlist
+from ..sim.probes import ActivityProfile
+from .bti import BOLTZMANN_EV, SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class EmParameters:
+    """Black's-equation constants for the vega28 interconnect stack.
+
+    Wires are assumed sized for their load (standard cell-sizing
+    practice), so current *density* grows with the square root of
+    fanout rather than linearly; ``prefactor`` is fitted so the
+    busiest nets of a fully-active datapath land in the decades range
+    at 105 C — EM failures should sit beyond, but not comfortably
+    beyond, BTI aging.
+    """
+
+    prefactor: float = 0.05
+    current_exponent: float = 2.0
+    activation_energy_ev: float = 0.85
+    #: Switching current per toggle (arbitrary units).
+    current_per_toggle: float = 1.0
+
+
+DEFAULT_EM = EmParameters()
+
+
+@dataclass
+class EmFinding:
+    net: str
+    current_density: float
+    mttf_years: float
+
+
+@dataclass
+class EmReport:
+    """Per-net EM lifetimes, sorted most-at-risk first."""
+
+    netlist_name: str
+    temperature_c: float
+    findings: List[EmFinding] = field(default_factory=list)
+
+    def below_lifetime(self, years: float) -> List[EmFinding]:
+        return [f for f in self.findings if f.mttf_years < years]
+
+    def worst(self, count: int = 10) -> List[EmFinding]:
+        return self.findings[:count]
+
+
+def electromigration_analysis(
+    netlist: Netlist,
+    activity: ActivityProfile,
+    temperature_c: float = 105.0,
+    params: EmParameters = DEFAULT_EM,
+) -> EmReport:
+    """Black's-equation MTTF for every driven net."""
+    t_kelvin = temperature_c + 273.15
+    arrhenius = math.exp(
+        params.activation_energy_ev / (BOLTZMANN_EV * t_kelvin)
+    )
+    findings: List[EmFinding] = []
+    for name, net in netlist.nets.items():
+        rate = activity.toggle_rate.get(name, 0.0)
+        if rate <= 0.0 or net.driver is None:
+            continue
+        fanout = max(1, len(net.loads))
+        # Current scales with load; width is sized for load too, so
+        # density grows only with sqrt(fanout).
+        density = params.current_per_toggle * rate * math.sqrt(fanout)
+        mttf_seconds = (
+            params.prefactor
+            / density**params.current_exponent
+            * arrhenius
+        )
+        findings.append(
+            EmFinding(
+                net=name,
+                current_density=density,
+                mttf_years=mttf_seconds / SECONDS_PER_YEAR,
+            )
+        )
+    findings.sort(key=lambda f: f.mttf_years)
+    return EmReport(
+        netlist_name=netlist.name,
+        temperature_c=temperature_c,
+        findings=findings,
+    )
+
+
+@dataclass
+class IrDropReport:
+    """Peak switching-demand estimate and the contributing nets."""
+
+    netlist_name: str
+    peak_demand: float
+    average_demand: float
+    budget: float
+    hotspots: List[Tuple[str, float]] = field(default_factory=list)
+
+    @property
+    def violated(self) -> bool:
+        return self.peak_demand > self.budget
+
+
+def ir_drop_analysis(
+    netlist: Netlist,
+    activity: ActivityProfile,
+    budget_fraction: float = 0.25,
+) -> IrDropReport:
+    """Estimate dynamic supply demand from aggregate toggle activity.
+
+    ``budget_fraction`` is the tolerated fraction of cells switching in
+    one cycle (a proxy for the power grid's design margin).  The
+    *demand* is the activity-weighted cell count; hotspots are the
+    cells contributing the most switching current.
+    """
+    demands: List[Tuple[str, float]] = []
+    for inst in netlist.instances.values():
+        rate = activity.toggle_rate.get(inst.output_net.name, 0.0)
+        weight = rate * max(1, len(inst.output_net.loads))
+        demands.append((inst.name, weight))
+    cell_count = max(1, len(netlist.instances))
+    if activity.demand_series:
+        # Per-cycle aggregate toggles, normalized to cells switching.
+        peak = max(activity.demand_series) / cell_count
+        average = sum(activity.demand_series) / len(
+            activity.demand_series
+        ) / cell_count
+    else:
+        average = sum(w for _, w in demands) / cell_count
+        peak = average
+    demands.sort(key=lambda kv: -kv[1])
+    return IrDropReport(
+        netlist_name=netlist.name,
+        peak_demand=peak,
+        average_demand=average,
+        budget=budget_fraction,
+        hotspots=demands[:10],
+    )

@@ -1,0 +1,12 @@
+"""Baseline comparators: random test-suite generation (Table 7)."""
+
+from .random_tests import random_alu_test, random_fpu_test, random_suite
+from .silifuzz_lite import SiliFuzzLite, Snapshot
+
+__all__ = [
+    "random_alu_test",
+    "random_fpu_test",
+    "random_suite",
+    "SiliFuzzLite",
+    "Snapshot",
+]

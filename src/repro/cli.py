@@ -1,0 +1,341 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Drives the Vega workflow from a shell, mirroring how the paper's tools
+would be packaged for a silicon/reliability team:
+
+=============  =====================================================
+command        effect
+=============  =====================================================
+workloads      list the embench-style benchmark programs
+sta            phase 1: SP profiling + aging-aware STA for a unit
+lift           phase 2: formal test construction (Table 4 view)
+suite          emit test-suite artifacts (assembly / C / routine)
+inject         emit a failing netlist as Verilog
+detect         run the generated suite against an injected failure
+integrate      phase 3: profile-guided splicing into a workload
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .core.experiments import default_context
+from .lifting.models import CMode, FailureModel, ViolationKind
+
+
+def _add_unit(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--unit", choices=("alu", "fpu"), default="alu",
+        help="functional unit under analysis",
+    )
+
+
+def _add_mitigation(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--mitigation", action="store_true",
+        help="enable the initial-value-dependency mitigation (edge-"
+             "qualified failure models, §3.3.4)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vega: proactive runtime detection of aging-related "
+                    "silent data corruptions (ASPLOS'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list benchmark workloads")
+
+    p = sub.add_parser("sta", help="aging analysis (phase 1)")
+    _add_unit(p)
+    p.add_argument("--paths", type=int, default=0,
+                   help="also print the N worst violating paths in "
+                        "report_timing style")
+
+    p = sub.add_parser("lift", help="error lifting (phase 2)")
+    _add_unit(p)
+    _add_mitigation(p)
+
+    p = sub.add_parser("suite", help="emit test-suite artifacts")
+    _add_unit(p)
+    _add_mitigation(p)
+    p.add_argument(
+        "--format", choices=("asm", "c", "routine"), default="asm",
+        help="artifact flavour: standalone assembly suite, C library "
+             "source, or the spliceable __vega_tests routine",
+    )
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+
+    p = sub.add_parser("inject", help="emit a failing netlist (Verilog)")
+    _add_unit(p)
+    p.add_argument("--start", required=True, help="launch flop (X)")
+    p.add_argument("--end", required=True, help="capture flop (Y)")
+    p.add_argument("--kind", choices=("setup", "hold"), default="setup")
+    p.add_argument("--c", choices=("0", "1", "R"), default="0",
+                   help="wrongly-sampled value C")
+    p.add_argument("-o", "--output", help="write to file instead of stdout")
+
+    p = sub.add_parser("detect", help="run the suite against a failure")
+    _add_unit(p)
+    _add_mitigation(p)
+    p.add_argument("--start", required=True)
+    p.add_argument("--end", required=True)
+    p.add_argument("--kind", choices=("setup", "hold"), default="setup")
+    p.add_argument("--c", choices=("0", "1", "R"), default="0")
+
+    p = sub.add_parser(
+        "verify",
+        help="formally check the unit's Verilog round-trip and the "
+             "optimizer with the built-in equivalence checker",
+    )
+    _add_unit(p)
+    p.add_argument("--depth", type=int, default=3)
+
+    p = sub.add_parser(
+        "models", help="export the circuit-level failure-model library"
+    )
+    _add_unit(p)
+    p.add_argument("-o", "--output", required=True, help="output directory")
+
+    p = sub.add_parser("integrate", help="profile-guided integration")
+    p.add_argument("--workload", default="crc32")
+    p.add_argument("--threshold", type=float, default=0.01,
+                   help="overhead budget (fraction of instructions)")
+    p.add_argument("--units", default="alu,fpu",
+                   help="comma-separated units whose suites to embed")
+    _add_mitigation(p)
+
+    return parser
+
+
+def _model_from_args(args) -> FailureModel:
+    return FailureModel(
+        start=args.start,
+        end=args.end,
+        kind=ViolationKind.SETUP if args.kind == "setup" else ViolationKind.HOLD,
+        c_mode={"0": CMode.ZERO, "1": CMode.ONE, "R": CMode.RANDOM}[args.c],
+    )
+
+
+def cmd_workloads(args, out) -> int:
+    from .workloads import WORKLOADS
+
+    for name, workload in sorted(WORKLOADS.items()):
+        print(f"{name:12s} [{workload.kind}] {workload.description}", file=out)
+    return 0
+
+
+def cmd_sta(args, out) -> int:
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    result = unit.sta_result
+    report = result.report
+    print(f"unit: {args.unit} ({unit.netlist.stats()['_cells']} cells)", file=out)
+    print(f"derived period: {result.period_ns:.3f} ns "
+          f"({1000/result.period_ns:.0f} MHz)", file=out)
+    print(f"fresh violations: {len(result.fresh_report.violations)}", file=out)
+    print(f"aged setup: {len(report.setup_violations())} paths, "
+          f"WNS {report.wns_setup_ns*1000:.1f} ps", file=out)
+    print(f"aged hold:  {len(report.hold_violations())} paths, "
+          f"WNS {report.wns_hold_ns*1000:.2f} ps", file=out)
+    print("unique endpoint pairs:", file=out)
+    for start, end in report.unique_endpoint_pairs():
+        print(f"  {start} ~> {end}", file=out)
+    if getattr(args, "paths", 0):
+        from .sta.aging_sta import AgingAwareSta
+        from .sta.report import report_timing
+
+        aged_model, _ = AgingAwareSta(
+            unit.netlist,
+            ctx.timing_lib,
+            config=ctx.config.aging,
+            gated_instances=unit.gated_instances(),
+        ).aged_delay_model(unit.sp_profile)
+        print(file=out)
+        print(
+            report_timing(
+                report, unit.netlist, aged_model, max_paths=args.paths
+            ),
+            file=out,
+        )
+    return 0
+
+
+def cmd_lift(args, out) -> int:
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    report = unit.lifting(args.mitigation)
+    print(f"unit: {args.unit}  mitigation: {args.mitigation}", file=out)
+    for pair in report.pairs:
+        print(f"  {pair.start} ~> {pair.end}: {pair.outcome.value} "
+              f"({len(pair.test_cases)} tests)", file=out)
+    pct = report.outcome_percentages()
+    print(f"S={pct['S']:.1f}% UR={pct['UR']:.1f}% "
+          f"FF={pct['FF']:.1f}% FC={pct['FC']:.1f}%", file=out)
+    print(f"total tests: {len(report.test_cases)}", file=out)
+    return 0
+
+
+def cmd_suite(args, out) -> int:
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    suite = unit.suite(args.mitigation)
+    if args.format == "asm":
+        text = suite.suite_source()
+    elif args.format == "c":
+        text = suite.c_source()
+    else:
+        text = suite.routine_source()
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_inject(args, out) -> int:
+    from .lifting.instrument import make_failing_netlist
+
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    failing = make_failing_netlist(unit.netlist, _model_from_args(args))
+    text = failing.to_verilog()
+    if args.output:
+        with open(args.output, "w") as fp:
+            fp.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def cmd_detect(args, out) -> int:
+    from .lifting.instrument import make_failing_netlist
+
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    suite = unit.suite(args.mitigation)
+    failing = make_failing_netlist(unit.netlist, _model_from_args(args))
+    result = unit.run_suite_against(suite, failing.netlist)
+    print(f"injected: {failing.model.label}", file=out)
+    if result.stalled:
+        print("DETECTED: CPU stall (handshake failure)", file=out)
+    elif result.detected:
+        print(f"DETECTED by {result.detected_by!r} after "
+              f"{result.cycles} cycles", file=out)
+    else:
+        print("not detected by this suite", file=out)
+    return 0 if result.detected else 1
+
+
+def cmd_verify(args, out) -> int:
+    from .formal.equiv import check_equivalence
+    from .netlist.opt import optimize
+    from .netlist.parser import parse_verilog
+    from .netlist.verilog import netlist_to_verilog
+
+    ctx = default_context()
+    netlist = ctx.unit(args.unit).netlist
+    print(f"unit: {args.unit} ({netlist.stats()['_cells']} cells)", file=out)
+
+    roundtrip = parse_verilog(netlist_to_verilog(netlist))
+    verdict = check_equivalence(netlist, roundtrip, depth=args.depth)
+    print(f"verilog round-trip equivalent: {verdict.equivalent}", file=out)
+    ok = verdict.equivalent is True
+
+    optimized = netlist.clone()
+    removed = optimize(optimized)
+    verdict2 = check_equivalence(
+        netlist, optimized, depth=args.depth, conflict_budget=100_000
+    )
+    status = (
+        "inconclusive (solver budget)"
+        if verdict2.equivalent is None
+        else verdict2.equivalent
+    )
+    print(
+        f"optimizer ({removed} cells removed) equivalent: {status}",
+        file=out,
+    )
+    ok = ok and verdict2.equivalent is not False
+    return 0 if ok else 1
+
+
+def cmd_models(args, out) -> int:
+    from .core.artifacts import export_failure_models, export_suite_artifacts
+
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    failing = unit.failing_netlists(constructed_only=False)
+    index = export_failure_models(failing, args.output, unit=args.unit)
+    suite_files = export_suite_artifacts(unit.suite(False), args.output)
+    print(f"exported {len(index.files)} failure models and "
+          f"{len(suite_files)} suite artifacts to {args.output}", file=out)
+    return 0
+
+
+def cmd_integrate(args, out) -> int:
+    from .core.config import TestIntegrationConfig
+    from .cpu.cpu import run_program
+    from .integration.library_gen import AgingLibrary
+    from .integration.profile import ProfileGuidedIntegrator
+    from .workloads import WORKLOADS
+
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}", file=sys.stderr)
+        return 2
+    ctx = default_context()
+    library = AgingLibrary(name="vega_all")
+    for unit_name in args.units.split(","):
+        unit_name = unit_name.strip()
+        if unit_name not in ("alu", "fpu"):
+            print(f"unknown unit {unit_name!r}", file=sys.stderr)
+            return 2
+        library.test_cases.extend(
+            ctx.unit(unit_name).suite(args.mitigation).test_cases
+        )
+    integrator = ProfileGuidedIntegrator(
+        library, TestIntegrationConfig(overhead_threshold=args.threshold)
+    )
+    source = WORKLOADS[args.workload].source
+    baseline = run_program(source)
+    app = integrator.integrate(source)
+    result, fault = app.run()
+    overhead = result.cycles / baseline.cycles - 1.0
+    print(f"workload: {args.workload}", file=out)
+    print(f"integration point: {app.plan.label!r} "
+          f"(runs {app.plan.block_count}x, gate 1/{app.plan.gate_period})",
+          file=out)
+    print(f"estimated overhead: {app.plan.estimated_overhead:.2%}", file=out)
+    print(f"measured overhead:  {overhead:+.2%} "
+          f"({baseline.cycles} -> {result.cycles} cycles)", file=out)
+    print(f"result preserved: {result.exit_value == baseline.exit_value}; "
+          f"fault: {fault}", file=out)
+    return 0
+
+
+def main(argv: Optional[list] = None, out=sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "workloads": cmd_workloads,
+        "sta": cmd_sta,
+        "lift": cmd_lift,
+        "suite": cmd_suite,
+        "inject": cmd_inject,
+        "detect": cmd_detect,
+        "verify": cmd_verify,
+        "models": cmd_models,
+        "integrate": cmd_integrate,
+    }[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Vega workflow orchestration: configuration, phases, reports."""
+
+from .config import (
+    AgingAnalysisConfig,
+    ErrorLiftingConfig,
+    TestIntegrationConfig,
+    VegaConfig,
+)
+from .artifacts import export_failure_models, export_suite_artifacts
+from .example import build_paper_adder, make_paper_library
+from .lifetime import LifetimeReport, LifetimeSimulator, SCHEDULES
+
+__all__ = [
+    "AgingAnalysisConfig",
+    "ErrorLiftingConfig",
+    "TestIntegrationConfig",
+    "VegaConfig",
+    "build_paper_adder",
+    "make_paper_library",
+    "export_failure_models",
+    "export_suite_artifacts",
+    "LifetimeReport",
+    "LifetimeSimulator",
+    "SCHEDULES",
+]

@@ -1,0 +1,97 @@
+"""Artifact export: the circuit-level failure-model library.
+
+The paper's third contribution: "We provide a set of circuit-level
+failure models for the analyzed hardware to facilitate future research
+into silent data corruptions."  Those models are the *failing netlists*
+produced by failure-model instrumentation — standalone Verilog files
+that behave like the aged circuit and can be simulated or mapped to an
+FPGA.
+
+:func:`export_failure_models` writes one ``.v`` per (endpoint pair, C
+mode) plus a JSON index describing each model's violation, trigger
+condition, and provenance; :func:`export_suite_artifacts` writes the
+software side (assembly suite, C library, spliceable routine).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..integration.library_gen import AgingLibrary
+from ..lifting.instrument import FailingNetlist
+
+
+@dataclass
+class ArtifactIndex:
+    """Manifest of an exported artifact directory."""
+
+    unit: str
+    netlist_name: str
+    models: List[Dict] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "unit": self.unit,
+                "netlist": self.netlist_name,
+                "models": self.models,
+                "files": self.files,
+            },
+            indent=2,
+        )
+
+
+def export_failure_models(
+    failing: Sequence[FailingNetlist],
+    directory: str,
+    unit: str = "unit",
+) -> ArtifactIndex:
+    """Write each failing netlist as Verilog plus a JSON manifest.
+
+    Returns the index (also written as ``index.json``).
+    """
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    index = ArtifactIndex(
+        unit=unit,
+        netlist_name=failing[0].netlist.name.split("__")[0] if failing else "",
+    )
+    for model in failing:
+        filename = f"{model.model.label}.v"
+        (out_dir / filename).write_text(model.to_verilog())
+        index.files.append(filename)
+        index.models.append(
+            {
+                "file": filename,
+                "kind": model.model.kind.value,
+                "start": model.model.start,
+                "end": model.model.end,
+                "c_mode": model.model.c_mode.value,
+                "edge": model.model.edge.value,
+                "cells": model.netlist.stats()["_cells"],
+            }
+        )
+    (out_dir / "index.json").write_text(index.to_json())
+    return index
+
+
+def export_suite_artifacts(
+    library: AgingLibrary,
+    directory: str,
+) -> List[str]:
+    """Write the software aging library's three artifact flavours."""
+    out_dir = pathlib.Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, text in (
+        (f"{library.name}.s", library.suite_source()),
+        (f"{library.name}.c", library.c_source()),
+        (f"{library.name}_routine.s", library.routine_source()),
+    ):
+        (out_dir / name).write_text(text)
+        written.append(name)
+    return written

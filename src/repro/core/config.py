@@ -1,0 +1,111 @@
+"""Configuration for the Vega workflow.
+
+One dataclass gathers every tunable the three phases consume, with
+defaults matching the paper's experimental setup (10-year mission
+lifetime, worst-case corner, mitigation off by default, 1 % overhead
+budget for profile-guided integration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Seconds in one year, used when converting lifetimes for the BTI model.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass
+class AgingAnalysisConfig:
+    """Phase 1 — SP profiling and aging-aware STA.
+
+    Attributes:
+        lifetime_years: Assumed mission lifetime; the paper uses the
+            10-year figure common for mission-critical parts (AEC Q100).
+        temperature_c: Worst-case junction temperature for the
+            reaction-diffusion model.
+        clock_margin: Fraction of post-synthesis slack retained when the
+            design's target period is derived.  Real flows sign off with
+            a few percent of positive slack; aging must be able to eat
+            through it for violations to appear, exactly as in the paper
+            where designs "initially meet required timing constraints".
+        max_paths_per_endpoint: Cap on enumerated violating paths per
+            capture flop, keeping Table 3 path counts bounded.
+        clock_gating_sp: SP assumed for gated-off clock buffers.  Clock
+            gating parks the gated subtree at a constant level, the
+            paper's "primary cause of uneven transistor aging" in the
+            clock network (§2.3.1).
+    """
+
+    lifetime_years: float = 10.0
+    temperature_c: float = 105.0
+    clock_margin: float = 0.03
+    max_paths_per_endpoint: int = 400
+    clock_gating_sp: float = 0.02
+
+
+@dataclass
+class ErrorLiftingConfig:
+    """Phase 2 — failure modelling, BMC, instruction construction.
+
+    Attributes:
+        enable_mitigation: Generate edge-qualified failure models
+            (§3.3.4), up to 4 test cases per endpoint pair instead of 2.
+        bmc_depth: Unroll depth for the bounded model checker.  Our
+            modules are feed-forward pipelines, so pipeline depth + 2
+            covers all reachable behaviour.
+        bmc_conflict_budget: CDCL conflict budget per query; exhausting
+            it yields the paper's "FF" (formal failure) outcome.
+        constants: The constant wrong values C to try (Eq. 2/3).
+    """
+
+    enable_mitigation: bool = False
+    bmc_depth: int = 4
+    bmc_conflict_budget: int = 200_000
+    constants: Tuple[int, ...] = (0, 1)
+
+
+@dataclass
+class TestIntegrationConfig:
+    """Phase 3 — library generation and profile-guided integration.
+
+    (The ``Test`` prefix is domain vocabulary, not a pytest suite —
+    hence ``__test__ = False`` below.)
+
+    Attributes:
+        overhead_threshold: Maximum tolerated estimated overhead
+            (fraction of dynamic instructions) before the integrator
+            inserts a probability gate.
+        min_block_executions: A basic block must run at least this many
+            times in the profile to be a candidate integration point
+            ("routinely accessed").
+        max_block_share: ...and at most this fraction of total dynamic
+            instructions ("not frequently invoked").
+        random_seed: Seed for randomized test scheduling.
+    """
+
+    __test__ = False  # keep pytest from collecting this dataclass
+
+    overhead_threshold: float = 0.01
+    min_block_executions: int = 4
+    max_block_share: float = 0.10
+    random_seed: int = 2024
+
+
+@dataclass
+class VegaConfig:
+    """Top-level configuration: one section per workflow phase."""
+
+    aging: AgingAnalysisConfig = field(default_factory=AgingAnalysisConfig)
+    lifting: ErrorLiftingConfig = field(default_factory=ErrorLiftingConfig)
+    integration: TestIntegrationConfig = field(
+        default_factory=TestIntegrationConfig
+    )
+
+    def with_mitigation(self, enabled: bool = True) -> "VegaConfig":
+        """Copy of this config with the §3.3.4 mitigation toggled."""
+        import copy
+
+        clone = copy.deepcopy(self)
+        clone.lifting.enable_mitigation = enabled
+        return clone

@@ -1,0 +1,119 @@
+"""The paper's running example: the pipelined 2-bit adder of Listing 1.
+
+Section 3 of the paper walks every Vega phase through a tiny module: a
+2-bit adder that registers its operands in cycle one and the sum in
+cycle two, synthesized into a minimal library (AND/XOR/DFF with 0.1 ns
+min and 0.3 ns max delay, 0.06 ns setup, 0.03 ns hold, 1 GHz clock).
+This module rebuilds that exact netlist — Figure 3 — cell for cell, so
+tests and the quickstart example can reproduce Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+
+from ..netlist.cells import CellLibrary, CellType
+from ..netlist.netlist import Netlist
+
+PAPER_CLOCK_PERIOD_NS = 1.0
+
+
+def make_paper_library() -> CellLibrary:
+    """The minimal three-cell library of §3.1 (plus support cells)."""
+    from ..netlist.cells import (
+        _ev_and2,
+        _ev_buf,
+        _ev_mux2,
+        _ev_tie0,
+        _ev_tie1,
+        _ev_xor2,
+    )
+
+    lib = CellLibrary(name="paper-minimal", vdd=0.9, vth0=0.35, alpha=1.3)
+    lib.add(CellType("AND2", ("A", "B"), "Y", _ev_and2, 0.1, 0.3))
+    lib.add(CellType("XOR2", ("A", "B"), "Y", _ev_xor2, 0.1, 0.3))
+    lib.add(
+        CellType(
+            "DFF",
+            ("D",),
+            "Q",
+            _ev_buf,
+            tmin=0.1,
+            tmax=0.3,
+            is_seq=True,
+            setup=0.06,
+            hold=0.03,
+        )
+    )
+    # MUX2/DFF/TIE are needed by failure-model instrumentation (§3.3.2).
+    lib.add(CellType("MUX2", ("A", "B", "S"), "Y", _ev_mux2, 0.1, 0.3))
+    lib.add(CellType("BUF", ("A",), "Y", _ev_buf, 0.1, 0.3))
+    lib.add(CellType("XNOR2", ("A", "B"), "Y",
+                     lambda i, m: ~(i[0] ^ i[1]) & m, 0.1, 0.3))
+    lib.add(CellType("INV", ("A",), "Y", lambda i, m: ~i[0] & m, 0.05, 0.15))
+    lib.add(CellType("AND3", ("A", "B", "C"), "Y",
+                     lambda i, m: i[0] & i[1] & i[2] & m, 0.12, 0.35))
+    lib.add(CellType("OR2", ("A", "B"), "Y",
+                     lambda i, m: (i[0] | i[1]) & m, 0.1, 0.3))
+    lib.add(CellType("TIE0", (), "Y", _ev_tie0, 0.0, 0.0))
+    lib.add(CellType("TIE1", (), "Y", _ev_tie1, 0.0, 0.0))
+    lib.add(CellType("CLKBUF", ("A",), "Y", _ev_buf, 0.1, 0.2, is_clock=True))
+    return lib
+
+
+def build_paper_adder(library: CellLibrary | None = None) -> Netlist:
+    """Construct the Figure 3 netlist of the paper.
+
+    Ports: ``a[1:0]``, ``b[1:0]`` in; ``o[1:0]`` out.  Instances carry
+    the paper's ``$N`` names (``d1``..``d4`` for the operand flops,
+    ``x5``/``a6``/``x7``/``x8`` for the adder gates, ``d9``/``d10`` for
+    the output flops) so reports match the running example:
+
+    * ``d1``-``d4`` sample ``a[0]``, ``b[0]``, ``a[1]``, ``b[1]``;
+    * ``x5 = aq0 ^ bq0`` feeds ``d9`` (``o[0]``; the short/hold path);
+    * ``a6 = aq0 & bq0`` is the carry;
+    * ``x7 = aq1 ^ bq1``; ``x8 = x7 ^ carry`` feeds ``d10`` (``o[1]``;
+      the long path ``d4 -> x7 -> x8 -> d10`` of the setup example).
+    """
+    lib = library or make_paper_library()
+    nl = Netlist("adder", lib)
+    a = nl.add_input_port("a", 2)
+    b = nl.add_input_port("b", 2)
+    o = nl.add_output_port("o", 2)
+
+    aq0 = nl.add_net("aq0")
+    bq0 = nl.add_net("bq0")
+    aq1 = nl.add_net("aq1")
+    bq1 = nl.add_net("bq1")
+    nl.add_instance("DFF", {"D": a.bit(0), "Q": aq0}, name="d1")
+    nl.add_instance("DFF", {"D": b.bit(0), "Q": bq0}, name="d2")
+    nl.add_instance("DFF", {"D": a.bit(1), "Q": aq1}, name="d3")
+    nl.add_instance("DFF", {"D": b.bit(1), "Q": bq1}, name="d4")
+
+    s0 = nl.add_net("s0")
+    carry = nl.add_net("carry")
+    s1a = nl.add_net("s1a")
+    s1 = nl.add_net("s1")
+    nl.add_instance("XOR2", {"A": aq0, "B": bq0, "Y": s0}, name="x5")
+    nl.add_instance("AND2", {"A": aq0, "B": bq0, "Y": carry}, name="a6")
+    nl.add_instance("XOR2", {"A": aq1, "B": bq1, "Y": s1a}, name="x7")
+    nl.add_instance("XOR2", {"A": s1a, "B": carry, "Y": s1}, name="x8")
+
+    nl.add_instance("DFF", {"D": s0, "Q": o.bit(0)}, name="d9")
+    nl.add_instance("DFF", {"D": s1, "Q": o.bit(1)}, name="d10")
+    nl.validate()
+    return nl
+
+
+# The SP profile the paper shows in Table 1, keyed by our instance names.
+PAPER_TABLE1_SP = {
+    "d1": 0.85,
+    "d2": 0.54,
+    "d3": 0.38,
+    "d4": 0.27,
+    "x5": 0.46,
+    "a6": 0.48,
+    "x7": 0.13,
+    "x8": 0.52,
+    "d9": 0.44,
+    "d10": 0.54,
+}

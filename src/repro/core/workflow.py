@@ -1,0 +1,173 @@
+"""End-to-end orchestration of the three Vega phases.
+
+`VegaWorkflow` ties together Aging Analysis (phase 1), Error Lifting
+(phase 2), and Test Integration (phase 3), mirroring Figure 2 of the
+paper.  Each phase is independently callable for finer control; `run`
+chains them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from ..netlist.netlist import Netlist
+from ..sim.probes import SPProfile
+from .config import VegaConfig
+
+
+@dataclass
+class WorkflowReport:
+    """Aggregated results of a full Vega run (filled per phase)."""
+
+    netlist_name: str = ""
+    sp_profile: Optional[SPProfile] = None
+    sta_report: object = None
+    lifting_report: object = None
+    test_suite: object = None
+
+    def summary(self) -> str:
+        lines = [f"Vega workflow report for {self.netlist_name!r}"]
+        if self.sta_report is not None:
+            aged = self.sta_report.report
+            lines.append(
+                f"  aging-prone paths: {len(aged.violations)} "
+                f"({len(aged.unique_endpoint_pairs())} unique pairs)"
+            )
+        if self.lifting_report is not None:
+            lines.append(
+                f"  test cases constructed: {len(self.lifting_report.test_cases)}"
+            )
+        if self.test_suite is not None:
+            lines.append(f"  suite cycles: {self.test_suite.suite_cycles()}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """A full per-phase report, suitable for issue trackers/docs."""
+        lines = [f"# Vega report — `{self.netlist_name}`", ""]
+        if self.sta_report is not None:
+            aged = self.sta_report.report
+            fresh = self.sta_report.fresh_report
+            lines += [
+                "## Phase 1 — Aging Analysis",
+                "",
+                f"- sign-off period: **{self.sta_report.period_ns:.3f} ns** "
+                f"({1000/self.sta_report.period_ns:.0f} MHz)",
+                f"- fresh violations: **{len(fresh.violations)}**",
+                f"- aged setup: **{len(aged.setup_violations())}** paths, "
+                f"WNS {aged.wns_setup_ns*1000:.1f} ps",
+                f"- aged hold: **{len(aged.hold_violations())}** paths, "
+                f"WNS {aged.wns_hold_ns*1000:.2f} ps",
+                "",
+                "| start | end | kind |",
+                "|---|---|---|",
+            ]
+            for violation in aged.representative_violations():
+                lines.append(
+                    f"| {violation.start} | {violation.end} "
+                    f"| {violation.kind} |"
+                )
+            lines.append("")
+        if self.lifting_report is not None:
+            pct = self.lifting_report.outcome_percentages()
+            lines += [
+                "## Phase 2 — Error Lifting",
+                "",
+                f"- outcomes: S {pct['S']:.1f}% / UR {pct['UR']:.1f}% / "
+                f"FF {pct['FF']:.1f}% / FC {pct['FC']:.1f}%",
+                f"- test cases: **{len(self.lifting_report.test_cases)}**",
+                "",
+            ]
+        if self.test_suite is not None:
+            lines += [
+                "## Phase 3 — Test Integration",
+                "",
+                f"- suite: **{len(self.test_suite.test_cases)}** tests, "
+                f"**{self.test_suite.suite_cycles()}** cycles per pass",
+                "",
+            ]
+        return "\n".join(lines)
+
+
+class VegaWorkflow:
+    """Drives the three phases of the Vega workflow on one module.
+
+    Usage::
+
+        workflow = VegaWorkflow(VegaConfig())
+        report = workflow.run(design, operand_stream, clock_period_ns=6.0)
+    """
+
+    def __init__(self, config: Optional[VegaConfig] = None):
+        self.config = config or VegaConfig()
+
+    # Phase 1 ----------------------------------------------------------
+    def run_aging_analysis(
+        self,
+        netlist: Netlist,
+        operand_stream: Sequence[Mapping[str, int]],
+        clock_period_ns: Optional[float] = None,
+        gated_instances: Optional[Sequence[str]] = None,
+    ):
+        """SP profiling + aging-aware STA; returns an ``StaReport``."""
+        from ..aging.charlib import AgingTimingLibrary
+        from ..sim.probes import profile_operand_stream
+        from ..sta.aging_sta import AgingAwareSta
+
+        profile = profile_operand_stream(netlist, list(operand_stream))
+        timing_lib = AgingTimingLibrary.characterize(
+            netlist.library,
+            lifetime_years=self.config.aging.lifetime_years,
+            temperature_c=self.config.aging.temperature_c,
+        )
+        sta = AgingAwareSta(
+            netlist,
+            timing_lib,
+            config=self.config.aging,
+            gated_instances=gated_instances,
+        )
+        return profile, sta.analyze(profile, clock_period_ns=clock_period_ns)
+
+    # Phase 2 ----------------------------------------------------------
+    def run_error_lifting(self, netlist: Netlist, sta_report, isa_mapper):
+        """Formal test construction for every unique endpoint pair.
+
+        Accepts either a raw :class:`~repro.sta.timing.StaReport` or the
+        :class:`~repro.sta.aging_sta.AgingStaResult` wrapper phase 1
+        produces.
+        """
+        from ..lifting.lifter import ErrorLifter
+
+        report = getattr(sta_report, "report", sta_report)
+        lifter = ErrorLifter(netlist, self.config.lifting, isa_mapper)
+        return lifter.lift(report)
+
+    # Phase 3 ----------------------------------------------------------
+    def build_aging_library(self, lifting_report, name: str = "vega_tests"):
+        from ..integration.library_gen import AgingLibrary
+
+        return AgingLibrary.from_lifting_report(
+            lifting_report, name=name, seed=self.config.integration.random_seed
+        )
+
+    # Full chain -------------------------------------------------------
+    def run(
+        self,
+        netlist: Netlist,
+        operand_stream: Sequence[Mapping[str, int]],
+        isa_mapper,
+        clock_period_ns: Optional[float] = None,
+        gated_instances: Optional[Sequence[str]] = None,
+    ) -> WorkflowReport:
+        report = WorkflowReport(netlist_name=netlist.name)
+        report.sp_profile, report.sta_report = self.run_aging_analysis(
+            netlist,
+            operand_stream,
+            clock_period_ns=clock_period_ns,
+            gated_instances=gated_instances,
+        )
+        report.lifting_report = self.run_error_lifting(
+            netlist, report.sta_report, isa_mapper
+        )
+        report.test_suite = self.build_aging_library(report.lifting_report)
+        return report

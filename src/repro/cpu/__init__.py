@@ -1,0 +1,61 @@
+"""The VR32 CPU: ISA, assembler, simulator, gate designs, co-simulation."""
+
+from .alu_design import AluOp, VALID_ALU_OPS, alu_reference, build_alu
+from .asm import AsmError, DATA_BASE, Program, assemble
+from .cosim import GateAluBackend, GateFpuBackend, GateMduBackend
+from .disasm import disassemble, render_instruction
+from .encoding import decode, encode, encode_program
+from .mdu_design import MduOp, VALID_MDU_OPS, build_mdu, mdu_reference
+from .cpu import (
+    Cpu,
+    CpuError,
+    CpuStall,
+    GoldenAlu,
+    GoldenFpu,
+    GoldenMdu,
+    RunResult,
+    run_program,
+)
+from .fpu_design import FpuOp, VALID_FPU_OPS, build_fpu, fpu_reference
+from .isa import Instruction, SPECS
+from .mappers import AluMapper, FpuMapper, MduMapper
+
+__all__ = [
+    "AluOp",
+    "VALID_ALU_OPS",
+    "alu_reference",
+    "build_alu",
+    "AsmError",
+    "DATA_BASE",
+    "Program",
+    "assemble",
+    "GateAluBackend",
+    "GateFpuBackend",
+    "GateMduBackend",
+    "disassemble",
+    "render_instruction",
+    "decode",
+    "encode",
+    "encode_program",
+    "MduOp",
+    "VALID_MDU_OPS",
+    "build_mdu",
+    "mdu_reference",
+    "GoldenMdu",
+    "MduMapper",
+    "Cpu",
+    "CpuError",
+    "CpuStall",
+    "GoldenAlu",
+    "GoldenFpu",
+    "RunResult",
+    "run_program",
+    "FpuOp",
+    "VALID_FPU_OPS",
+    "build_fpu",
+    "fpu_reference",
+    "Instruction",
+    "SPECS",
+    "AluMapper",
+    "FpuMapper",
+]

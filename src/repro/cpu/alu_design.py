@@ -1,0 +1,171 @@
+"""Gate-level ALU of the repo's CV32E40P-style core.
+
+A two-stage pipelined arithmetic-logic unit: operands and opcode are
+registered in stage 1; the result is computed and registered in stage 2,
+mirroring the pipelined structure of the paper's running example (and
+giving Aging Analysis real flop-to-flop paths to time).
+
+Operations cover the RV32I register-register arithmetic set.  The
+opcode encoding is the module's microarchitectural contract, shared
+with the ISA simulator, the co-simulation harness, and the ALU
+instruction mapper.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+from ..netlist.cells import CellLibrary, VEGA28
+from ..netlist.netlist import Netlist
+from ..rtl.signal import Module, mux_by_index
+from ..rtl.synth import synthesize
+
+
+class AluOp(IntEnum):
+    """Opcode encoding of the ``op`` input port."""
+
+    ADD = 0
+    SUB = 1
+    SLL = 2
+    SLT = 3
+    SLTU = 4
+    XOR = 5
+    SRL = 6
+    SRA = 7
+    OR = 8
+    AND = 9
+
+
+#: All legal opcode values, for ``assume property`` restrictions.
+VALID_ALU_OPS = tuple(int(op) for op in AluOp)
+
+ALU_LATENCY = 2  # cycles from operand capture to visible result
+
+
+#: Lane configurations of the SIMD adder: mode 0 = one 32-bit lane,
+#: mode 1 = two 16-bit halves, mode 2 = four 8-bit bytes.  Mirrors the
+#: CV32E40P's PULP SIMD extension, which standard RV32I code never uses
+#: — making ``mode`` an *assume property* constant during Error Lifting
+#: and its flops a natural source of provably-unrealizable violations.
+SIMD_MODES = (0, 1, 2)
+
+
+def _lane_adder(m, a, b, subtract, mode):
+    """Ripple adder with SIMD carry breaks at byte/half boundaries."""
+    width = a.width
+    b_eff = b ^ subtract.repeat(width)
+    half_break = mode.eq(1) | mode.eq(2)
+    byte_break = mode.eq(2)
+    carry = subtract.bits[0]
+    out = []
+    for i in range(width):
+        if i and i % (width // 4) == 0:
+            brk = half_break if i == width // 2 else byte_break
+            # A broken carry chain restarts the lane: carry-in reverts
+            # to the subtract borrow seed.
+            carry = m.b_mux(brk.bits[0], carry, subtract.bits[0])
+        axb = m.b_xor(a.bits[i], b_eff.bits[i])
+        out.append(m.b_xor(axb, carry))
+        carry = m.b_or(
+            m.b_and(a.bits[i], b_eff.bits[i]), m.b_and(axb, carry)
+        )
+    from ..rtl.signal import Signal
+
+    return Signal(m, tuple(out))
+
+
+def build_alu_module(width: int = 32) -> Module:
+    """The ALU as an RTL module (pre-synthesis)."""
+    m = Module("alu")
+    op = m.input("op", 4)
+    a = m.input("a", width)
+    b = m.input("b", width)
+    mode = m.input("mode", 2)
+    # Design-for-test hook: BIST pattern injection at the datapath
+    # head.  Mission-mode software keeps dft low, so its flop never
+    # toggles — yet its fanout sits on the most critical (and, being
+    # parked, most aged) paths.  These become the aging-prone pairs
+    # that Error Lifting *proves* harmless (the paper's UR outcomes).
+    dft = m.input("dft", 1)
+
+    op_q = m.register("op_q", 4)
+    a_q = m.register("a_q", width)
+    b_q = m.register("b_q", width)
+    mode_q = m.register("mode_q", 2)
+    dft_q = m.register("dft_q", 1)
+    res_q = m.register("res_q", width)
+    op_q.next = op
+    a_q.next = a
+    b_q.next = b
+    mode_q.next = mode
+    dft_q.next = dft
+
+    pattern_a = m.const(0xA5A5A5A5 & ((1 << width) - 1), width)
+    pattern_b = m.const(0x5A5A5A5A & ((1 << width) - 1), width)
+    av = a_q.q ^ (pattern_a & dft_q.q.repeat(width))
+    bv = b_q.q ^ (pattern_b & dft_q.q.repeat(width))
+    shamt_bits = max(1, (width - 1).bit_length())
+    shamt = bv[:shamt_bits]
+    zero = m.const(0, 1)
+    one = m.const(1, 1)
+
+    results = [
+        _lane_adder(m, av, bv, zero, mode_q.q),   # ADD
+        _lane_adder(m, av, bv, one, mode_q.q),    # SUB
+        av.shl(shamt),                            # SLL
+        av.slt(bv).zext(width),                   # SLT
+        av.ult(bv).zext(width),                   # SLTU
+        av ^ bv,                                  # XOR
+        av.shr(shamt),                            # SRL
+        av.sra(shamt),                            # SRA
+        av | bv,                                  # OR
+        av & bv,                                  # AND
+    ]
+    res_q.next = mux_by_index(op_q.q, results)
+    m.output("result", res_q.q)
+    return m
+
+
+def build_alu(
+    width: int = 32, library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Synthesized ALU netlist on the vega28 library.
+
+    The paper's ALU targets 167 MHz in a 28 nm node; our derived period
+    comes out of :meth:`repro.sta.AgingAwareSta.derive_period` instead,
+    since the absolute numbers depend on the synthetic library.
+    """
+    return synthesize(build_alu_module(width), library or VEGA28)
+
+
+def alu_reference(op: int, a: int, b: int, width: int = 32) -> int:
+    """Golden software model of the ALU (used by the ISA simulator)."""
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+    shamt = b & (width - 1)
+
+    def signed(x: int) -> int:
+        return x - (1 << width) if x >> (width - 1) else x
+
+    operation = AluOp(op)
+    if operation is AluOp.ADD:
+        return (a + b) & mask
+    if operation is AluOp.SUB:
+        return (a - b) & mask
+    if operation is AluOp.SLL:
+        return (a << shamt) & mask
+    if operation is AluOp.SLT:
+        return int(signed(a) < signed(b))
+    if operation is AluOp.SLTU:
+        return int(a < b)
+    if operation is AluOp.XOR:
+        return a ^ b
+    if operation is AluOp.SRL:
+        return a >> shamt
+    if operation is AluOp.SRA:
+        return (signed(a) >> shamt) & mask
+    if operation is AluOp.OR:
+        return a | b
+    return a & b  # AND

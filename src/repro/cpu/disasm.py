@@ -1,0 +1,79 @@
+"""Instruction rendering (disassembly) for the VR32 ISA.
+
+Completes the toolchain triangle — assembler (text → decoded), encoder
+(decoded → words), and this renderer (decoded → text) — so binary test
+blobs and lifted suites can always be inspected as assembly, and so the
+property ``assemble(render(i)) == i`` can be tested.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .encoding import decode
+from .isa import Fmt, Instruction
+
+_IREG = [f"x{i}" for i in range(32)]
+_FREG = [f"f{i}" for i in range(32)]
+
+
+def render_instruction(instr: Instruction) -> str:
+    """Canonical assembly text for one decoded instruction.
+
+    Branch/jump targets render as absolute-address labels in the form
+    ``. + offset`` is avoided: the caller is expected to resolve labels;
+    here the absolute target renders as a bare integer, which the
+    assembler accepts.
+    """
+    name = instr.mnemonic
+    fmt = instr.spec.fmt
+    if fmt is Fmt.R:
+        return f"{name} {_IREG[instr.rd]}, {_IREG[instr.rs1]}, {_IREG[instr.rs2]}"
+    if fmt is Fmt.I:
+        return f"{name} {_IREG[instr.rd]}, {_IREG[instr.rs1]}, {instr.imm}"
+    if fmt is Fmt.LOAD:
+        return f"{name} {_IREG[instr.rd]}, {instr.imm}({_IREG[instr.rs1]})"
+    if fmt is Fmt.STORE:
+        return f"{name} {_IREG[instr.rs2]}, {instr.imm}({_IREG[instr.rs1]})"
+    if fmt is Fmt.BRANCH:
+        return f"{name} {_IREG[instr.rs1]}, {_IREG[instr.rs2]}, {instr.target}"
+    if fmt is Fmt.JAL:
+        return f"{name} {_IREG[instr.rd]}, {instr.target}"
+    if fmt is Fmt.JALR:
+        return f"{name} {_IREG[instr.rd]}, {instr.imm}({_IREG[instr.rs1]})"
+    if fmt is Fmt.U:
+        return f"{name} {_IREG[instr.rd]}, {instr.imm}"
+    if fmt is Fmt.FR:
+        return f"{name} {_FREG[instr.fd]}, {_FREG[instr.fs1]}, {_FREG[instr.fs2]}"
+    if fmt is Fmt.FCMP:
+        return f"{name} {_IREG[instr.rd]}, {_FREG[instr.fs1]}, {_FREG[instr.fs2]}"
+    if fmt is Fmt.FLOAD:
+        return f"{name} {_FREG[instr.fd]}, {instr.imm}({_IREG[instr.rs1]})"
+    if fmt is Fmt.FSTORE:
+        return f"{name} {_FREG[instr.fs2]}, {instr.imm}({_IREG[instr.rs1]})"
+    if fmt is Fmt.FMVXH:
+        return f"{name} {_IREG[instr.rd]}, {_FREG[instr.fs1]}"
+    if fmt is Fmt.FMVHX:
+        return f"{name} {_FREG[instr.fd]}, {_IREG[instr.rs1]}"
+    if fmt is Fmt.FCVTWH:
+        return f"{name} {_IREG[instr.rd]}, {_FREG[instr.fs1]}"
+    if fmt is Fmt.FCVTHW:
+        return f"{name} {_FREG[instr.fd]}, {_IREG[instr.rs1]}"
+    if name == "frflags":
+        return f"frflags {_IREG[instr.rd]}"
+    if name == "fsflags":
+        return f"fsflags {_IREG[instr.rs1]}"
+    return name  # ecall
+
+
+def disassemble(words: List[int], base_pc: int = 0) -> str:
+    """Disassemble encoded words into an annotated listing."""
+    lines = []
+    for index, word in enumerate(words):
+        pc = base_pc + 4 * index
+        try:
+            text = render_instruction(decode(word, pc=pc))
+        except Exception:
+            text = f".word {word:#010x}  # undecodable"
+        lines.append(f"{pc:08x}: {word:08x}  {text}")
+    return "\n".join(lines)

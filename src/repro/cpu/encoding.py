@@ -1,0 +1,335 @@
+"""Binary encoding/decoding for the VR32 instruction set.
+
+The simulator executes decoded :class:`~repro.cpu.isa.Instruction`
+objects, but several artifact flows want real machine words: the C
+aging library can embed ``.word`` images, SiliFuzz-style corpora are
+binary, and a deployment would flash encoded test blobs.  This module
+provides RV32-compatible encodings for the subset VR32 shares with
+RISC-V, plus custom-opcode encodings for the binary16 extension.
+
+Encodings follow the standard RISC-V formats (R/I/S/B/U/J); the FP16
+ops use the OP-FP major opcode with the half-precision ``fmt`` field,
+and branch/jump targets are encoded PC-relative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .isa import Fmt, Instruction
+
+OPCODE_OP = 0b0110011
+OPCODE_OP_IMM = 0b0010011
+OPCODE_LOAD = 0b0000011
+OPCODE_STORE = 0b0100011
+OPCODE_BRANCH = 0b1100011
+OPCODE_LUI = 0b0110111
+OPCODE_AUIPC = 0b0010111
+OPCODE_JAL = 0b1101111
+OPCODE_JALR = 0b1100111
+OPCODE_OP_FP = 0b1010011
+OPCODE_LOAD_FP = 0b0000111
+OPCODE_STORE_FP = 0b0100111
+OPCODE_SYSTEM = 0b1110011
+
+#: funct3/funct7 for R-type integer ops (including RV32M multiplies).
+_R_FUNCT: Dict[str, Tuple[int, int]] = {
+    "mul": (0b000, 0b0000001),
+    "mulh": (0b001, 0b0000001),
+    "mulhsu": (0b010, 0b0000001),
+    "mulhu": (0b011, 0b0000001),
+    "add": (0b000, 0b0000000),
+    "sub": (0b000, 0b0100000),
+    "sll": (0b001, 0b0000000),
+    "slt": (0b010, 0b0000000),
+    "sltu": (0b011, 0b0000000),
+    "xor": (0b100, 0b0000000),
+    "srl": (0b101, 0b0000000),
+    "sra": (0b101, 0b0100000),
+    "or": (0b110, 0b0000000),
+    "and": (0b111, 0b0000000),
+}
+
+_I_FUNCT: Dict[str, Tuple[int, Optional[int]]] = {
+    "addi": (0b000, None),
+    "slti": (0b010, None),
+    "sltiu": (0b011, None),
+    "xori": (0b100, None),
+    "ori": (0b110, None),
+    "andi": (0b111, None),
+    "slli": (0b001, 0b0000000),
+    "srli": (0b101, 0b0000000),
+    "srai": (0b101, 0b0100000),
+}
+
+_LOAD_FUNCT = {"lb": 0b000, "lh": 0b001, "lw": 0b010, "lbu": 0b100, "lhu": 0b101}
+_STORE_FUNCT = {"sb": 0b000, "sh": 0b001, "sw": 0b010}
+_BRANCH_FUNCT = {
+    "beq": 0b000, "bne": 0b001, "blt": 0b100,
+    "bge": 0b101, "bltu": 0b110, "bgeu": 0b111,
+}
+
+#: OP-FP funct7 (fmt=10 'H' in the low two bits, as in Zfh).
+_FP_FUNCT7 = {
+    "fadd.h": 0b0000010,
+    "fsub.h": 0b0000110,
+    "fmul.h": 0b0001010,
+    "fmin.h": 0b0010110,  # funct3 selects min/max
+    "fmax.h": 0b0010110,
+    "feq.h": 0b1010010,
+    "flt.h": 0b1010010,
+    "fle.h": 0b1010010,
+    "fmv.x.h": 0b1110010,
+    "fmv.h.x": 0b1111010,
+    "fcvt.w.h": 0b1100010,
+    "fcvt.h.w": 0b1101010,
+}
+_FP_FUNCT3 = {
+    "fmin.h": 0b000,
+    "fmax.h": 0b001,
+    "feq.h": 0b010,
+    "flt.h": 0b001,
+    "fle.h": 0b000,
+}
+
+
+class EncodeError(Exception):
+    """Raised for unencodable operands (e.g. immediate out of range)."""
+
+
+def _check_range(value: int, bits: int, what: str) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    if not low <= value <= high:
+        raise EncodeError(f"{what} {value} out of {bits}-bit range")
+    return value & ((1 << bits) - 1)
+
+
+def encode(instr: Instruction, pc: int = 0) -> int:
+    """Encode one instruction at address ``pc`` into a 32-bit word."""
+    name = instr.mnemonic
+    fmt = instr.spec.fmt
+    if fmt is Fmt.R:
+        funct3, funct7 = _R_FUNCT[name]
+        return (
+            funct7 << 25 | instr.rs2 << 20 | instr.rs1 << 15
+            | funct3 << 12 | instr.rd << 7 | OPCODE_OP
+        )
+    if fmt is Fmt.I:
+        funct3, funct7 = _I_FUNCT[name]
+        if funct7 is not None:  # shifts: shamt in imm[4:0]
+            shamt = instr.imm & 0x1F
+            return (
+                funct7 << 25 | shamt << 20 | instr.rs1 << 15
+                | funct3 << 12 | instr.rd << 7 | OPCODE_OP_IMM
+            )
+        imm = _check_range(_signed(instr.imm), 12, "immediate")
+        return (
+            imm << 20 | instr.rs1 << 15 | funct3 << 12
+            | instr.rd << 7 | OPCODE_OP_IMM
+        )
+    if fmt is Fmt.LOAD:
+        imm = _check_range(_signed(instr.imm), 12, "offset")
+        return (
+            imm << 20 | instr.rs1 << 15 | _LOAD_FUNCT[name] << 12
+            | instr.rd << 7 | OPCODE_LOAD
+        )
+    if fmt is Fmt.STORE:
+        imm = _check_range(_signed(instr.imm), 12, "offset")
+        return (
+            (imm >> 5) << 25 | instr.rs2 << 20 | instr.rs1 << 15
+            | _STORE_FUNCT[name] << 12 | (imm & 0x1F) << 7 | OPCODE_STORE
+        )
+    if fmt is Fmt.BRANCH:
+        offset = _check_range(instr.target - pc, 13, "branch offset")
+        return (
+            ((offset >> 12) & 1) << 31 | ((offset >> 5) & 0x3F) << 25
+            | instr.rs2 << 20 | instr.rs1 << 15
+            | _BRANCH_FUNCT[name] << 12
+            | ((offset >> 1) & 0xF) << 8 | ((offset >> 11) & 1) << 7
+            | OPCODE_BRANCH
+        )
+    if fmt is Fmt.U:
+        opcode = OPCODE_LUI if name == "lui" else OPCODE_AUIPC
+        return (instr.imm & 0xFFFFF) << 12 | instr.rd << 7 | opcode
+    if fmt is Fmt.JAL:
+        offset = _check_range(instr.target - pc, 21, "jump offset")
+        return (
+            ((offset >> 20) & 1) << 31 | ((offset >> 1) & 0x3FF) << 21
+            | ((offset >> 11) & 1) << 20 | ((offset >> 12) & 0xFF) << 12
+            | instr.rd << 7 | OPCODE_JAL
+        )
+    if fmt is Fmt.JALR:
+        imm = _check_range(_signed(instr.imm), 12, "offset")
+        return imm << 20 | instr.rs1 << 15 | instr.rd << 7 | OPCODE_JALR
+    if fmt in (Fmt.FR, Fmt.FCMP):
+        funct7 = _FP_FUNCT7[name]
+        funct3 = _FP_FUNCT3.get(name, 0)
+        rd = instr.rd if fmt is Fmt.FCMP else instr.fd
+        return (
+            funct7 << 25 | instr.fs2 << 20 | instr.fs1 << 15
+            | funct3 << 12 | rd << 7 | OPCODE_OP_FP
+        )
+    if fmt is Fmt.FLOAD:
+        imm = _check_range(_signed(instr.imm), 12, "offset")
+        return (
+            imm << 20 | instr.rs1 << 15 | 0b001 << 12
+            | instr.fd << 7 | OPCODE_LOAD_FP
+        )
+    if fmt is Fmt.FSTORE:
+        imm = _check_range(_signed(instr.imm), 12, "offset")
+        return (
+            (imm >> 5) << 25 | instr.fs2 << 20 | instr.rs1 << 15
+            | 0b001 << 12 | (imm & 0x1F) << 7 | OPCODE_STORE_FP
+        )
+    if fmt is Fmt.FMVXH:
+        return (
+            _FP_FUNCT7["fmv.x.h"] << 25 | instr.fs1 << 15
+            | instr.rd << 7 | OPCODE_OP_FP
+        )
+    if fmt is Fmt.FMVHX:
+        return (
+            _FP_FUNCT7["fmv.h.x"] << 25 | instr.rs1 << 15
+            | instr.fd << 7 | OPCODE_OP_FP
+        )
+    if fmt is Fmt.FCVTWH:
+        return (
+            _FP_FUNCT7["fcvt.w.h"] << 25 | instr.fs1 << 15
+            | instr.rd << 7 | OPCODE_OP_FP
+        )
+    if fmt is Fmt.FCVTHW:
+        return (
+            _FP_FUNCT7["fcvt.h.w"] << 25 | instr.rs1 << 15
+            | instr.fd << 7 | OPCODE_OP_FP
+        )
+    if name == "ecall":
+        return OPCODE_SYSTEM
+    if name == "frflags":
+        # csrrs rd, fflags, x0
+        return 0x001 << 20 | 0b010 << 12 | instr.rd << 7 | OPCODE_SYSTEM
+    if name == "fsflags":
+        # csrrw x0, fflags, rs1
+        return 0x001 << 20 | instr.rs1 << 15 | 0b001 << 12 | OPCODE_SYSTEM
+    raise EncodeError(f"no encoding for {name!r}")  # pragma: no cover
+
+
+def _signed(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _sext(value: int, bits: int) -> int:
+    if value >> (bits - 1):
+        value -= 1 << bits
+    return value
+
+
+class DecodeError(Exception):
+    """Raised for unrecognized instruction words."""
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode a 32-bit word (encoded at address ``pc``)."""
+    opcode = word & 0x7F
+    rd = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+
+    if opcode == OPCODE_OP:
+        for name, (f3, f7) in _R_FUNCT.items():
+            if (f3, f7) == (funct3, funct7):
+                return Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+        raise DecodeError(f"unknown R-type {word:#010x}")
+    if opcode == OPCODE_OP_IMM:
+        for name, (f3, f7) in _I_FUNCT.items():
+            if f3 != funct3:
+                continue
+            if f7 is not None:
+                if f7 == funct7:
+                    return Instruction(name, rd=rd, rs1=rs1, imm=rs2)
+                continue
+            return Instruction(
+                name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12)
+            )
+        raise DecodeError(f"unknown I-type {word:#010x}")
+    if opcode == OPCODE_LOAD:
+        for name, f3 in _LOAD_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(
+                    name, rd=rd, rs1=rs1, imm=_sext(word >> 20, 12)
+                )
+        raise DecodeError(f"unknown load {word:#010x}")
+    if opcode == OPCODE_STORE:
+        imm = _sext((funct7 << 5) | rd, 12)
+        for name, f3 in _STORE_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+        raise DecodeError(f"unknown store {word:#010x}")
+    if opcode == OPCODE_BRANCH:
+        offset = _sext(
+            ((word >> 31) & 1) << 12 | ((word >> 7) & 1) << 11
+            | ((word >> 25) & 0x3F) << 5 | ((word >> 8) & 0xF) << 1,
+            13,
+        )
+        for name, f3 in _BRANCH_FUNCT.items():
+            if f3 == funct3:
+                return Instruction(
+                    name, rs1=rs1, rs2=rs2, target=pc + offset
+                )
+        raise DecodeError(f"unknown branch {word:#010x}")
+    if opcode in (OPCODE_LUI, OPCODE_AUIPC):
+        name = "lui" if opcode == OPCODE_LUI else "auipc"
+        return Instruction(name, rd=rd, imm=(word >> 12) & 0xFFFFF)
+    if opcode == OPCODE_JAL:
+        offset = _sext(
+            ((word >> 31) & 1) << 20 | ((word >> 12) & 0xFF) << 12
+            | ((word >> 20) & 1) << 11 | ((word >> 21) & 0x3FF) << 1,
+            21,
+        )
+        return Instruction("jal", rd=rd, target=pc + offset)
+    if opcode == OPCODE_JALR:
+        return Instruction("jalr", rd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == OPCODE_LOAD_FP:
+        return Instruction("flh", fd=rd, rs1=rs1, imm=_sext(word >> 20, 12))
+    if opcode == OPCODE_STORE_FP:
+        imm = _sext((funct7 << 5) | rd, 12)
+        return Instruction("fsh", fs2=rs2, rs1=rs1, imm=imm)
+    if opcode == OPCODE_OP_FP:
+        if funct7 == _FP_FUNCT7["fmv.x.h"]:
+            return Instruction("fmv.x.h", rd=rd, fs1=rs1)
+        if funct7 == _FP_FUNCT7["fmv.h.x"]:
+            return Instruction("fmv.h.x", fd=rd, rs1=rs1)
+        if funct7 == _FP_FUNCT7["fcvt.w.h"]:
+            return Instruction("fcvt.w.h", rd=rd, fs1=rs1)
+        if funct7 == _FP_FUNCT7["fcvt.h.w"]:
+            return Instruction("fcvt.h.w", fd=rd, rs1=rs1)
+        if funct7 == _FP_FUNCT7["feq.h"]:
+            name = {0b010: "feq.h", 0b001: "flt.h", 0b000: "fle.h"}.get(funct3)
+            if name:
+                return Instruction(name, rd=rd, fs1=rs1, fs2=rs2)
+        if funct7 == _FP_FUNCT7["fmin.h"]:
+            name = {0b000: "fmin.h", 0b001: "fmax.h"}.get(funct3)
+            if name:
+                return Instruction(name, fd=rd, fs1=rs1, fs2=rs2)
+        for name in ("fadd.h", "fsub.h", "fmul.h"):
+            if funct7 == _FP_FUNCT7[name]:
+                return Instruction(name, fd=rd, fs1=rs1, fs2=rs2)
+        raise DecodeError(f"unknown OP-FP {word:#010x}")
+    if opcode == OPCODE_SYSTEM:
+        if word == OPCODE_SYSTEM:
+            return Instruction("ecall")
+        if funct3 == 0b010:
+            return Instruction("frflags", rd=rd)
+        if funct3 == 0b001:
+            return Instruction("fsflags", rs1=rs1)
+        raise DecodeError(f"unknown system {word:#010x}")
+    raise DecodeError(f"unknown opcode {opcode:#04x} in {word:#010x}")
+
+
+def encode_program(instructions, base_pc: int = 0):
+    """Encode a list of instructions; returns list of 32-bit words."""
+    return [
+        encode(instr, pc=base_pc + 4 * index)
+        for index, instr in enumerate(instructions)
+    ]

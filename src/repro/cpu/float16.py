@@ -1,0 +1,368 @@
+"""Software IEEE-754 binary16 arithmetic with status flags.
+
+This is the repo's golden floating-point model: the ISA simulator uses
+it to execute FPU instructions, Error Lifting uses it for expected
+values, and the gate-level FPU of :mod:`repro.cpu.fpu_design` is tested
+against it (which is itself cross-checked against ``numpy.float16``).
+
+Supported: add, sub, mul, min, max, compares, int conversions —
+round-to-nearest-even, subnormals, signed zeros, infinities, NaNs
+(RISC-V canonical quiet NaN ``0x7E00``).
+
+Flags follow RISC-V's ``fflags`` bit order: NV (invalid), DZ (divide by
+zero — unused here), OF (overflow), UF (underflow), NX (inexact).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+EXP_BITS = 5
+MAN_BITS = 10
+BIAS = 15
+EXP_MAX = (1 << EXP_BITS) - 1  # 31
+CANONICAL_NAN = 0x7E00
+POS_INF = 0x7C00
+NEG_INF = 0xFC00
+
+FLAG_NV = 0x10
+FLAG_DZ = 0x08
+FLAG_OF = 0x04
+FLAG_UF = 0x02
+FLAG_NX = 0x01
+
+#: Rounding modes (RISC-V encoding): round-to-nearest-even, toward
+#: zero, down (toward -inf), up (toward +inf).
+RM_RNE = 0
+RM_RTZ = 1
+RM_RDN = 2
+RM_RUP = 3
+
+
+def _should_round_up(sign: int, lsb: int, grs: int, rm: int) -> bool:
+    """Rounding decision for a positive-magnitude significand."""
+    if grs == 0:
+        return False
+    guard = (grs >> 2) & 1
+    round_sticky = grs & 0b011
+    if rm == RM_RTZ:
+        return False
+    if rm == RM_RDN:
+        return bool(sign)
+    if rm == RM_RUP:
+        return not sign
+    return bool(guard and (round_sticky or lsb))  # RNE
+
+
+def _overflow_bits(sign: int, rm: int) -> int:
+    """Overflowed result: infinity or max finite, by rounding mode."""
+    max_finite = (sign << 15) | 0x7BFF
+    inf = (sign << 15) | POS_INF
+    if rm == RM_RTZ:
+        return max_finite
+    if rm == RM_RDN:
+        return inf if sign else max_finite
+    if rm == RM_RUP:
+        return max_finite if sign else inf
+    return inf  # RNE
+
+
+def _fields(x: int) -> Tuple[int, int, int]:
+    """(sign, exponent, mantissa) of a 16-bit pattern."""
+    return (x >> 15) & 1, (x >> MAN_BITS) & EXP_MAX, x & ((1 << MAN_BITS) - 1)
+
+
+def is_nan(x: int) -> bool:
+    _, e, m = _fields(x)
+    return e == EXP_MAX and m != 0
+
+
+def is_signaling_nan(x: int) -> bool:
+    _, e, m = _fields(x)
+    return e == EXP_MAX and m != 0 and not (m >> (MAN_BITS - 1)) & 1
+
+
+def is_inf(x: int) -> bool:
+    _, e, m = _fields(x)
+    return e == EXP_MAX and m == 0
+
+
+def is_zero(x: int) -> bool:
+    _, e, m = _fields(x)
+    return e == 0 and m == 0
+
+
+def _decompose(x: int) -> Tuple[int, int, int]:
+    """(sign, unbiased-ish exponent, significand) for finite x.
+
+    The significand carries the implicit bit for normal numbers; the
+    exponent is the effective biased exponent (1 for subnormals).
+    """
+    s, e, m = _fields(x)
+    if e == 0:
+        return s, 1, m
+    return s, e, m | (1 << MAN_BITS)
+
+
+def _round_pack(
+    sign: int, exp: int, sig: int, grs: int, rm: int = RM_RNE
+) -> Tuple[int, int]:
+    """Round per ``rm`` and assemble a float16.
+
+    ``sig`` is an 11-bit significand (implicit bit at position 10) for a
+    normal candidate, or smaller for subnormals; ``exp`` is the biased
+    exponent (0 means subnormal).  ``grs`` holds guard/round/sticky in
+    its low 3 bits.  Returns (bits, flags).
+    """
+    flags = 0
+    inexact = grs != 0
+    round_up = _should_round_up(sign, sig & 1, grs, rm)
+    if round_up:
+        sig += 1
+        if sig >> (MAN_BITS + 1):  # mantissa overflow: 0x800
+            sig >>= 1
+            exp += 1
+        if exp == 1 and sig >> MAN_BITS:
+            # Subnormal rounded up into the normal range.
+            pass
+    if exp <= 0:
+        # Should have been pre-shifted into exp==0 form by the caller.
+        raise AssertionError("caller must deliver exp >= 0")
+    if exp == 0 or not (sig >> MAN_BITS):
+        # Subnormal (or zero) result.
+        bits = (sign << 15) | (sig & ((1 << MAN_BITS) - 1))
+        if inexact:
+            flags |= FLAG_NX | FLAG_UF
+        return bits, flags
+    if exp >= EXP_MAX:
+        return _overflow_bits(sign, rm), FLAG_OF | FLAG_NX
+    bits = (sign << 15) | (exp << MAN_BITS) | (sig & ((1 << MAN_BITS) - 1))
+    if inexact:
+        flags |= FLAG_NX
+    return bits, flags
+
+
+def _norm_round_pack(
+    sign: int, exp: int, sig: int, rm: int = RM_RNE
+) -> Tuple[int, int]:
+    """Normalize a (sign, biased exp, wide significand) and round.
+
+    ``sig`` may be any width; ``exp`` is the biased exponent of the bit
+    just above ``sig``'s bit 13 when interpreted as 1.xx with 3 GRS
+    bits — callers deliver sig aligned so that bit 13 is the implicit
+    position (value 1 <= sig < 2 means bit 13 set).
+    """
+    if sig == 0:
+        return sign << 15, 0
+    # Position of the leading one relative to bit 13 (implicit slot).
+    shift = sig.bit_length() - 14
+    if shift > 0:
+        sticky = int(sig & ((1 << shift) - 1) != 0)
+        sig = (sig >> shift) | sticky
+        exp += shift
+    elif shift < 0:
+        sig <<= -shift
+        exp += shift
+    if exp <= 0:
+        # Subnormal: shift right so exponent becomes 1, then encode
+        # with biased exponent 0.
+        denorm = 1 - exp
+        if denorm > 14 + MAN_BITS:
+            sticky = 1
+            sig = 0
+        else:
+            sticky = int(sig & ((1 << denorm) - 1) != 0)
+            sig >>= denorm
+        sig |= sticky
+        exp = 1
+        grs = sig & 0b111
+        sig >>= 3
+        bits, flags = _round_pack(sign, exp, sig, grs, rm)
+        # exp==1 with no implicit bit encodes as biased exponent 0.
+        if not (sig >> MAN_BITS) and not ((bits >> MAN_BITS) & EXP_MAX):
+            pass
+        return bits, flags
+    grs = sig & 0b111
+    sig >>= 3
+    return _round_pack(sign, exp, sig, grs, rm)
+
+
+def fp16_add(
+    a: int, b: int, subtract: bool = False, rm: int = RM_RNE
+) -> Tuple[int, int]:
+    """a + b (or a - b) under rounding mode ``rm``; returns (bits, flags)."""
+    if subtract:
+        b ^= 0x8000
+    if is_nan(a) or is_nan(b):
+        flags = FLAG_NV if (is_signaling_nan(a) or is_signaling_nan(b)) else 0
+        return CANONICAL_NAN, flags
+    if is_inf(a) or is_inf(b):
+        if is_inf(a) and is_inf(b) and (a ^ b) >> 15:
+            return CANONICAL_NAN, FLAG_NV
+        return (a if is_inf(a) else b), 0
+    sa, ea, siga = _decompose(a)
+    sb, eb, sigb = _decompose(b)
+    # Align onto a common exponent with 3 GRS bits of headroom.
+    siga <<= 3
+    sigb <<= 3
+    if ea < eb or (ea == eb and siga < sigb):
+        sa, ea, siga, sb, eb, sigb = sb, eb, sigb, sa, ea, siga
+    diff = ea - eb
+    if diff:
+        if diff > 13:
+            sigb = 1 if sigb else 0
+        else:
+            sticky = int(sigb & ((1 << diff) - 1) != 0)
+            sigb = (sigb >> diff) | sticky
+    if sa == sb:
+        total = siga + sigb
+        sign = sa
+    else:
+        total = siga - sigb
+        sign = sa
+        if total == 0:
+            # Exact cancellation: +0 except RDN, which yields -0.
+            return (0x8000 if rm == RM_RDN else 0), 0
+    return _norm_round_pack(sign, ea, total, rm)
+
+
+def fp16_mul(a: int, b: int, rm: int = RM_RNE) -> Tuple[int, int]:
+    """a * b under rounding mode ``rm``; returns (bits, flags)."""
+    if is_nan(a) or is_nan(b):
+        flags = FLAG_NV if (is_signaling_nan(a) or is_signaling_nan(b)) else 0
+        return CANONICAL_NAN, flags
+    sign = ((a ^ b) >> 15) & 1
+    if is_inf(a) or is_inf(b):
+        if is_zero(a) or is_zero(b):
+            return CANONICAL_NAN, FLAG_NV
+        return (sign << 15) | POS_INF, 0
+    if is_zero(a) or is_zero(b):
+        return sign << 15, 0
+    sa, ea, siga = _decompose(a)
+    sb, eb, sigb = _decompose(b)
+    product = siga * sigb  # up to 22 bits, implicit product bit at 20/21
+    # Align: product of two 1.x significands (bit 10 implicit each) has
+    # its unit at bit 20.  Delivering sig with implicit slot at bit 13
+    # means exponent reference ea+eb-BIAS with unit at bit 20: shift
+    # mentally handled by _norm_round_pack via bit_length.
+    exp = ea + eb - BIAS - 7  # 20 - 13 = 7 positions above the slot
+    return _norm_round_pack(sign, exp, product, rm)
+
+
+def fp16_min(a: int, b: int) -> Tuple[int, int]:
+    """RISC-V fmin.h semantics: NaN-aware minimum."""
+    return _min_max(a, b, take_min=True)
+
+
+def fp16_max(a: int, b: int) -> Tuple[int, int]:
+    return _min_max(a, b, take_min=False)
+
+
+def _min_max(a: int, b: int, take_min: bool) -> Tuple[int, int]:
+    flags = FLAG_NV if (is_signaling_nan(a) or is_signaling_nan(b)) else 0
+    if is_nan(a) and is_nan(b):
+        return CANONICAL_NAN, flags
+    if is_nan(a):
+        return b, flags
+    if is_nan(b):
+        return a, flags
+    # -0 < +0 for min/max purposes.
+    a_lt_b = _signed_less(a, b)
+    if take_min:
+        return (a if a_lt_b or a == b else b), flags
+    return (b if a_lt_b else a), flags
+
+
+def _signed_less(a: int, b: int) -> bool:
+    sa, sb = a >> 15, b >> 15
+    if sa != sb:
+        if is_zero(a) and is_zero(b):
+            return sa == 1  # -0 < +0
+        return sa == 1
+    mag_a, mag_b = a & 0x7FFF, b & 0x7FFF
+    if sa:
+        return mag_a > mag_b
+    return mag_a < mag_b
+
+
+def fp16_eq(a: int, b: int) -> Tuple[int, int]:
+    """feq.h: quiet comparison; NV only for signaling NaNs."""
+    flags = FLAG_NV if (is_signaling_nan(a) or is_signaling_nan(b)) else 0
+    if is_nan(a) or is_nan(b):
+        return 0, flags
+    if is_zero(a) and is_zero(b):
+        return 1, flags
+    return int(a == b), flags
+
+
+def fp16_lt(a: int, b: int) -> Tuple[int, int]:
+    """flt.h: signaling comparison; NV for any NaN.
+
+    Unlike min/max ordering, IEEE comparisons treat +/-0 as equal.
+    """
+    if is_nan(a) or is_nan(b):
+        return 0, FLAG_NV
+    if is_zero(a) and is_zero(b):
+        return 0, 0
+    return int(_signed_less(a, b)), 0
+
+
+def fp16_le(a: int, b: int) -> Tuple[int, int]:
+    if is_nan(a) or is_nan(b):
+        return 0, FLAG_NV
+    if is_zero(a) and is_zero(b):
+        return 1, 0
+    return int(_signed_less(a, b) or a == b), 0
+
+
+def fp16_from_int(value: int) -> Tuple[int, int]:
+    """Convert a signed 32-bit integer to float16 (fcvt.h.w, RNE).
+
+    ``_norm_round_pack`` interprets its significand with the implicit
+    slot at bit 13 and value ``sig * 2^(exp - BIAS - 13)``; an integer
+    magnitude therefore carries exponent ``BIAS + 13``.
+    """
+    value &= 0xFFFFFFFF
+    sign = (value >> 31) & 1
+    mag = ((~value + 1) & 0xFFFFFFFF) if sign else value
+    if mag == 0:
+        return 0, 0
+    return _norm_round_pack(sign, BIAS + 13, mag)
+
+
+def fp16_to_int(x: int) -> Tuple[int, int]:
+    """Convert float16 to signed 32-bit integer (fcvt.w.h, RTZ).
+
+    Out-of-range and NaN follow RISC-V: NaN -> 2^31-1 with NV; +/-inf
+    saturate with NV.
+    """
+    if is_nan(x):
+        return 0x7FFFFFFF, FLAG_NV
+    s, e, m = _fields(x)
+    if e == EXP_MAX:
+        return (0x80000000 if s else 0x7FFFFFFF), FLAG_NV
+    sign, exp, sig = _decompose(x)
+    shift = exp - BIAS - MAN_BITS
+    if shift >= 0:
+        value = sig << shift
+    else:
+        value = sig >> -shift
+        if sig & ((1 << -shift) - 1):
+            # inexact truncation toward zero
+            result = -value if sign else value
+            return result & 0xFFFFFFFF, FLAG_NX
+    result = -value if sign else value
+    return result & 0xFFFFFFFF, 0
+
+
+def fp16_value(x: int) -> float:
+    """Python float view of a binary16 pattern (for tests/debugging)."""
+    s, e, m = _fields(x)
+    sign = -1.0 if s else 1.0
+    if e == EXP_MAX:
+        if m:
+            return float("nan")
+        return sign * float("inf")
+    if e == 0:
+        return sign * m * 2.0 ** (1 - BIAS - MAN_BITS)
+    return sign * (m + (1 << MAN_BITS)) * 2.0 ** (e - BIAS - MAN_BITS)

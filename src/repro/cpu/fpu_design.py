@@ -1,0 +1,355 @@
+"""Gate-level IEEE-754 binary16 FPU of the repo's RISC-V-style core.
+
+Substitution note (see DESIGN.md): the paper evaluates FPnew, a 32-bit
+multi-format FPU.  A full FP32 datapath is intractable for a pure-Python
+bounded model checker, so this design implements the same pipeline
+structure and the same code paths — operand alignment, significand
+add/multiply, leading-zero normalization, round-to-nearest-even,
+subnormals, and the five RISC-V status flags — at binary16 width.
+
+Pipeline: stage 1 registers operands/opcode/valid; stage 2 registers the
+computed result, flags, and the output-valid handshake bit.  The
+``v_q -> ov_q`` chain is a direct flop-to-flop path: exactly the kind of
+short path that aging-induced clock phase shift turns into a hold
+violation, and whose failure stalls the CPU (Table 6's "S" entries).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional, Tuple
+
+from ..netlist.cells import CellLibrary, VEGA28
+from ..netlist.netlist import Netlist
+from ..rtl.signal import Module, Signal, leading_zero_count, mux, mux_by_index
+from ..rtl.synth import synthesize
+from . import float16 as sf
+
+BIAS = 15
+
+
+class FpuOp(IntEnum):
+    """Opcode encoding of the ``op`` input port."""
+
+    FADD = 0
+    FSUB = 1
+    FMUL = 2
+    FMIN = 3
+    FMAX = 4
+    FEQ = 5
+    FLT = 6
+    FLE = 7
+
+
+VALID_FPU_OPS = tuple(int(op) for op in FpuOp)
+
+FPU_LATENCY = 2
+
+
+def _fields(x: Signal) -> Tuple[Signal, Signal, Signal]:
+    """(sign, exp, man) of a 16-bit operand signal."""
+    return x[15], x[10:15], x[:10]
+
+
+def _classify(x: Signal):
+    s, e, man = _fields(x)
+    e_zero = ~e.any()
+    e_max = e.all()
+    m_zero = ~man.any()
+    return {
+        "sign": s,
+        "exp": e,
+        "man": man,
+        "is_zero": e_zero & m_zero,
+        "is_sub": e_zero & ~m_zero,
+        "is_inf": e_max & m_zero,
+        "is_nan": e_max & ~m_zero,
+        "is_snan": e_max & ~m_zero & ~man[9],
+        # 11-bit significand with the implicit bit materialized.
+        "sig": man.concat(~e_zero),
+        # Effective biased exponent (subnormals use 1).
+        "eeff": mux(e_zero, e, x.module.const(1, 5)),
+    }
+
+
+def _sticky_shr(sig: Signal, amount: Signal) -> Signal:
+    """Right shift, OR-ing every lost bit into the result's LSB."""
+    m = sig.module
+    ones = m.const((1 << sig.width) - 1, sig.width)
+    lost_mask = ~(ones.shl(amount))
+    lost = (sig & lost_mask).any()
+    return sig.shr(amount) | lost.zext(sig.width)
+
+
+def _normalize_round(
+    m: Module, sign: Signal, exp8: Signal, sig24: Signal, rm: Signal
+) -> Tuple[Signal, Signal]:
+    """Normalize/round ``sig24 * 2^(exp8 - BIAS - 13)`` to binary16.
+
+    ``rm`` selects the rounding mode (RISC-V encoding: RNE/RTZ/RDN/RUP;
+    other encodings behave as RNE).  Returns (bits16, partial_flags5)
+    where flags cover OF/UF/NX; the caller merges NV from its
+    special-case logic.  This mirrors ``float16._norm_round_pack`` gate
+    for gate.
+    """
+    lzc = leading_zero_count(sig24)  # 5 bits, value 24 for zero input
+    # norm_exp = exp8 + 10 - lzc  (leading one moves to bit 13)
+    norm_exp = exp8 + m.const(10, 8) - lzc.zext(8)
+
+    need_left = m.const(10, 5).ule(lzc)
+    left_amount = (lzc - m.const(10, 5)).zext(5)
+    right_amount = (m.const(10, 5) - lzc).zext(5)
+    sig_left = sig24.shl(left_amount)[:14]
+    sig_right = _sticky_shr(sig24, right_amount)[:14]
+    norm14 = mux(need_left, sig_right, sig_left)
+
+    # Subnormal pre-shift: biased exponent <= 0 -> slide right so the
+    # result encodes with exponent field 0.
+    is_tiny = norm_exp.sle(m.const(0, 8))
+    denorm = (m.const(1, 8) - norm_exp)[:6]
+    tiny14 = _sticky_shr(norm14, denorm)
+    pre14 = mux(is_tiny, norm14, tiny14)
+    exp_pre = mux(is_tiny, norm_exp, m.const(1, 8))
+
+    # Rounding decision by mode.
+    guard = pre14[2]
+    rnd = pre14[1]
+    stk = pre14[0]
+    keep11 = pre14[3:14]
+    inexact = guard | rnd | stk
+    rne_up = guard & (rnd | stk | keep11[0])
+    rtz_up = m.const(0, 1)
+    rdn_up = sign & inexact
+    rup_up = ~sign & inexact
+    round_up = mux_by_index(rm, [rne_up, rtz_up, rdn_up, rup_up])
+    rounded12 = keep11.zext(12) + round_up.zext(12)
+    man_ovf = rounded12[11]
+    sig11 = mux(man_ovf, rounded12[:11], rounded12[1:12])
+    exp_rnd = exp_pre + man_ovf.zext(8)
+
+    implicit = sig11[10]
+    overflow = m.const(31, 8).sle(exp_rnd) & implicit
+    exp_field = mux(implicit, m.const(0, 5), exp_rnd[:5])
+    bits = sig11[:10].concat(exp_field, sign)
+    # Overflow result depends on the mode: RNE -> inf; RTZ -> max
+    # finite; RDN/RUP -> inf only when rounding away from zero.
+    inf_bits = m.const(0, 10).concat(m.const(31, 5), sign)
+    max_bits = m.const(0x3FF, 10).concat(m.const(30, 5), sign)
+    to_inf = mux_by_index(
+        rm, [m.const(1, 1), m.const(0, 1), sign, ~sign]
+    )
+    ovf_bits = mux(to_inf, max_bits, inf_bits)
+    bits = mux(overflow, bits, ovf_bits)
+
+    nx = inexact | overflow
+    uf = ~implicit & inexact & ~overflow
+    of = overflow
+    flags = nx.concat(uf, of, m.const(0, 1), m.const(0, 1))  # NX UF OF DZ NV
+    return bits, flags
+
+
+def _signed_less(m: Module, a: Signal, b: Signal, cls_a, cls_b) -> Signal:
+    """Sign-magnitude 'a < b' matching ``float16._signed_less``."""
+    sa, sb = cls_a["sign"], cls_b["sign"]
+    mag_lt = a[:15].ult(b[:15])
+    mag_gt = b[:15].ult(a[:15])
+    less_same_sign = mux(sa, mag_lt, mag_gt)
+    # Differing signs: the negative operand is smaller, and -0 < +0
+    # for min/max purposes (RISC-V), so the sign alone decides.
+    return mux(sa ^ sb, less_same_sign, sa)
+
+
+def build_fpu_module() -> Module:
+    """The FPU as an RTL module (pre-synthesis)."""
+    m = Module("fpu")
+    op = m.input("op", 3)
+    a_in = m.input("a", 16)
+    b_in = m.input("b", 16)
+    rm_in = m.input("rm", 3)
+    in_valid = m.input("in_valid", 1)
+    # DFT/BIST pattern injection at the operand unpack stage; see the
+    # ALU's dft input for the rationale (mission mode ties it low).
+    dft = m.input("dft", 1)
+
+    op_q = m.register("op_q", 3)
+    a_q = m.register("a_q", 16)
+    b_q = m.register("b_q", 16)
+    rm_q = m.register("rm_q", 3)
+    v_q = m.register("v_q", 1)
+    dft_q = m.register("dft_q", 1)
+    op_q.next = op
+    a_q.next = a_in
+    b_q.next = b_in
+    rm_q.next = rm_in
+    v_q.next = in_valid
+    dft_q.next = dft
+    rm = rm_q.q
+
+    a = a_q.q ^ (m.const(0xA5A5, 16) & dft_q.q.repeat(16))
+    b = b_q.q ^ (m.const(0x5A5A, 16) & dft_q.q.repeat(16))
+    ca, cb = _classify(a), _classify(b)
+    canonical_nan = m.const(sf.CANONICAL_NAN, 16)
+    any_snan = ca["is_snan"] | cb["is_snan"]
+    any_nan = ca["is_nan"] | cb["is_nan"]
+
+    def flags5(nv: Signal, base: Optional[Signal] = None) -> Signal:
+        tail = base if base is not None else m.const(0, 4)
+        return tail[:4].concat(nv)
+
+    # ------------------------------------------------------------------
+    # FADD / FSUB
+    # ------------------------------------------------------------------
+    is_sub_op = op_q.q.eq(int(FpuOp.FSUB))
+    sb_eff = cb["sign"] ^ is_sub_op
+
+    a_ge_b = ~a[:15].ult(b[:15])
+    big_sig = mux(a_ge_b, cb["sig"], ca["sig"])
+    small_sig = mux(a_ge_b, ca["sig"], cb["sig"])
+    big_exp = mux(a_ge_b, cb["eeff"], ca["eeff"])
+    small_exp = mux(a_ge_b, ca["eeff"], cb["eeff"])
+    big_sign = mux(a_ge_b, sb_eff, ca["sign"])
+    small_sign = mux(a_ge_b, ca["sign"], sb_eff)
+
+    diff_exp = big_exp - small_exp
+    big14 = big_sig.zext(14).shl_const(3)
+    small14 = _sticky_shr(small_sig.zext(14).shl_const(3), diff_exp)
+    same_sign = ~(big_sign ^ small_sign)
+    total_sum = big14.zext(15) + small14.zext(15)
+    total_diff = big14.zext(15) - small14.zext(15)
+    total = mux(same_sign, total_diff, total_sum)
+    cancel = ~same_sign & ~total.any()
+    # Exact cancellation yields +0, except round-down which gives -0.
+    cancel_sign = rm.eq(sf.RM_RDN)
+    add_sign = mux(cancel, big_sign, cancel_sign)
+    add_bits, add_flags = _normalize_round(
+        m, add_sign, big_exp.zext(8), total[:15].zext(24), rm
+    )
+
+    # Special cases for add/sub.
+    inf_conflict = ca["is_inf"] & cb["is_inf"] & (ca["sign"] ^ sb_eff)
+    any_inf = ca["is_inf"] | cb["is_inf"]
+    inf_sign = mux(ca["is_inf"], sb_eff, ca["sign"])
+    inf_value = m.const(0, 10).concat(m.const(31, 5), inf_sign)
+    add_result = mux(any_inf, add_bits, inf_value)
+    add_result = mux(inf_conflict, add_result, canonical_nan)
+    add_result = mux(any_nan, add_result, canonical_nan)
+    add_nv = any_snan | (inf_conflict & ~any_nan)
+    add_flags_final = mux(
+        any_nan | any_inf, add_flags, m.const(0, 5)
+    )
+    add_flags_final = flags5(add_nv, add_flags_final)
+
+    # ------------------------------------------------------------------
+    # FMUL
+    # ------------------------------------------------------------------
+    mul_sign = ca["sign"] ^ cb["sign"]
+    product = ca["sig"] * cb["sig"]  # 22 bits
+    mul_exp = ca["eeff"].zext(8) + cb["eeff"].zext(8) + m.const(-22, 8)
+    mul_bits, mul_flags = _normalize_round(
+        m, mul_sign, mul_exp, product.zext(24), rm
+    )
+    inf_times_zero = (ca["is_inf"] & cb["is_zero"]) | (
+        cb["is_inf"] & ca["is_zero"]
+    )
+    mul_any_inf = ca["is_inf"] | cb["is_inf"]
+    mul_inf = m.const(0, 10).concat(m.const(31, 5), mul_sign)
+    mul_result = mux(mul_any_inf, mul_bits, mul_inf)
+    mul_result = mux(inf_times_zero, mul_result, canonical_nan)
+    mul_result = mux(any_nan, mul_result, canonical_nan)
+    mul_nv = any_snan | (inf_times_zero & ~any_nan)
+    mul_flags_final = mux(
+        any_nan | mul_any_inf, mul_flags, m.const(0, 5)
+    )
+    mul_flags_final = flags5(mul_nv, mul_flags_final)
+
+    # ------------------------------------------------------------------
+    # Comparisons and min/max
+    # ------------------------------------------------------------------
+    less = _signed_less(m, a, b, ca, cb)
+    both_zero = ca["is_zero"] & cb["is_zero"]
+    eq_sem = a.eq(b) | both_zero
+
+    feq_bits = (eq_sem & ~any_nan).zext(16)
+    feq_flags = flags5(any_snan)
+    # IEEE flt: +/-0 compare equal (unlike the min/max ordering).
+    flt_bits = (less & ~any_nan & ~both_zero).zext(16)
+    flt_flags = flags5(any_nan)
+    fle_bits = ((less | eq_sem) & ~any_nan).zext(16)
+    fle_flags = flags5(any_nan)
+
+    # Tie-break on bit equality: min(+0, -0) must yield -0, and the
+    # semantic +/-0 equality would wrongly pick the first operand.
+    pick_a_min = less | a.eq(b)
+    min_numeric = mux(pick_a_min, b, a)
+    max_numeric = mux(less, a, b)
+    min_bits = mux(
+        ca["is_nan"],
+        mux(cb["is_nan"], min_numeric, a),
+        mux(cb["is_nan"], b, canonical_nan),
+    )
+    max_bits = mux(
+        ca["is_nan"],
+        mux(cb["is_nan"], max_numeric, a),
+        mux(cb["is_nan"], b, canonical_nan),
+    )
+    minmax_flags = flags5(any_snan)
+
+    # ------------------------------------------------------------------
+    # Result selection and output stage
+    # ------------------------------------------------------------------
+    results = [
+        add_result,       # FADD
+        add_result,       # FSUB (sign flip folded into the adder)
+        mul_result,       # FMUL
+        min_bits,         # FMIN
+        max_bits,         # FMAX
+        feq_bits,         # FEQ
+        flt_bits,         # FLT
+        fle_bits,         # FLE
+    ]
+    flag_arms = [
+        add_flags_final,
+        add_flags_final,
+        mul_flags_final,
+        minmax_flags,
+        minmax_flags,
+        feq_flags,
+        flt_flags,
+        fle_flags,
+    ]
+    res_q = m.register("res_q", 16)
+    fl_q = m.register("fl_q", 5)
+    ov_q = m.register("ov_q", 1)
+    res_q.next = mux_by_index(op_q.q, results)
+    fl_q.next = mux_by_index(op_q.q, flag_arms)
+    ov_q.next = v_q.q  # direct flop-to-flop handshake path
+
+    m.output("result", res_q.q)
+    m.output("flags", fl_q.q)
+    m.output("out_valid", ov_q.q)
+    return m
+
+
+def build_fpu(library: Optional[CellLibrary] = None) -> Netlist:
+    """Synthesized FPU netlist on the vega28 library."""
+    return synthesize(build_fpu_module(), library or VEGA28)
+
+
+def fpu_reference(op: int, a: int, b: int, rm: int = 0) -> Tuple[int, int]:
+    """Golden software model: (result bits, flags)."""
+    operation = FpuOp(op)
+    if operation is FpuOp.FADD:
+        return sf.fp16_add(a, b, rm=rm)
+    if operation is FpuOp.FSUB:
+        return sf.fp16_add(a, b, subtract=True, rm=rm)
+    if operation is FpuOp.FMUL:
+        return sf.fp16_mul(a, b, rm=rm)
+    if operation is FpuOp.FMIN:
+        return sf.fp16_min(a, b)
+    if operation is FpuOp.FMAX:
+        return sf.fp16_max(a, b)
+    if operation is FpuOp.FEQ:
+        return sf.fp16_eq(a, b)
+    if operation is FpuOp.FLT:
+        return sf.fp16_lt(a, b)
+    return sf.fp16_le(a, b)

@@ -1,0 +1,189 @@
+"""Instruction-set definition for the repo's RV32I-style core ("VR32").
+
+A faithful-in-spirit subset of RV32I plus a binary16 floating-point
+extension (mirroring the Zfh idea at our FPU's width):
+
+* integer ALU ops (register and immediate forms),
+* loads/stores (word/half/byte),
+* branches and jumps,
+* FP16 compute (fadd.h .. fle.h), moves, converts, loads/stores,
+* ``frflags``/``fsflags`` for the accumulated FP status flags,
+* ``ecall`` to halt.
+
+Instructions are kept in decoded form (no binary encoding): the paper's
+artifacts are assembly-level test cases, and everything downstream —
+the simulator, the co-simulation harness, profile-guided integration —
+operates on this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Dict, Optional
+
+from .alu_design import AluOp
+from .fpu_design import FpuOp
+from .mdu_design import MduOp
+
+
+class Fmt(Enum):
+    """Operand format of a mnemonic (drives parsing and execution)."""
+
+    R = auto()        # rd, rs1, rs2
+    I = auto()        # rd, rs1, imm
+    LOAD = auto()     # rd, imm(rs1)
+    STORE = auto()    # rs2, imm(rs1)
+    BRANCH = auto()   # rs1, rs2, label
+    JAL = auto()      # rd, label
+    JALR = auto()     # rd, imm(rs1)
+    U = auto()        # rd, imm
+    FR = auto()       # fd, fs1, fs2
+    FCMP = auto()     # rd, fs1, fs2
+    FLOAD = auto()    # fd, imm(rs1)
+    FSTORE = auto()   # fs2, imm(rs1)
+    FMVXH = auto()    # rd, fs1
+    FMVHX = auto()    # fd, rs1
+    FCVTWH = auto()   # rd, fs1
+    FCVTHW = auto()   # fd, rs1
+    SYS = auto()      # no operands / single register
+
+
+@dataclass(frozen=True)
+class Spec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Fmt
+    alu_op: Optional[AluOp] = None
+    fpu_op: Optional[FpuOp] = None
+    mdu_op: Optional[MduOp] = None
+    cycles: int = 1
+    mem_size: int = 0
+    mem_signed: bool = False
+
+
+#: Cycle costs loosely follow the CV32E40P: single-cycle ALU, 2-cycle
+#: loads, taken-branch penalty (applied dynamically), 2-cycle FP ops.
+SPECS: Dict[str, Spec] = {}
+
+
+def _spec(*args, **kwargs) -> None:
+    spec = Spec(*args, **kwargs)
+    SPECS[spec.mnemonic] = spec
+
+
+# Integer register-register (through the ALU backend).
+for name, op in [
+    ("add", AluOp.ADD), ("sub", AluOp.SUB), ("sll", AluOp.SLL),
+    ("slt", AluOp.SLT), ("sltu", AluOp.SLTU), ("xor", AluOp.XOR),
+    ("srl", AluOp.SRL), ("sra", AluOp.SRA), ("or", AluOp.OR),
+    ("and", AluOp.AND),
+]:
+    _spec(name, Fmt.R, alu_op=op)
+
+# Integer register-immediate (also through the ALU backend).
+for name, op in [
+    ("addi", AluOp.ADD), ("slti", AluOp.SLT), ("sltiu", AluOp.SLTU),
+    ("xori", AluOp.XOR), ("ori", AluOp.OR), ("andi", AluOp.AND),
+    ("slli", AluOp.SLL), ("srli", AluOp.SRL), ("srai", AluOp.SRA),
+]:
+    _spec(name, Fmt.I, alu_op=op)
+
+# RV32M multiplication subset (through the MDU backend).
+_spec("mul", Fmt.R, mdu_op=MduOp.MUL)
+_spec("mulh", Fmt.R, mdu_op=MduOp.MULH, cycles=2)
+_spec("mulhsu", Fmt.R, mdu_op=MduOp.MULHSU, cycles=2)
+_spec("mulhu", Fmt.R, mdu_op=MduOp.MULHU, cycles=2)
+
+_spec("lui", Fmt.U)
+_spec("auipc", Fmt.U)
+
+for name, size, signed in (
+    ("lw", 4, False), ("lh", 2, True), ("lhu", 2, False),
+    ("lb", 1, True), ("lbu", 1, False),
+):
+    _spec(name, Fmt.LOAD, cycles=2, mem_size=size, mem_signed=signed)
+for name, size in (("sw", 4), ("sh", 2), ("sb", 1)):
+    _spec(name, Fmt.STORE, cycles=1, mem_size=size)
+
+for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+    _spec(name, Fmt.BRANCH)
+_spec("jal", Fmt.JAL, cycles=2)
+_spec("jalr", Fmt.JALR, cycles=2)
+
+# FP16 extension (through the FPU backend).
+for name, op in [
+    ("fadd.h", FpuOp.FADD), ("fsub.h", FpuOp.FSUB), ("fmul.h", FpuOp.FMUL),
+    ("fmin.h", FpuOp.FMIN), ("fmax.h", FpuOp.FMAX),
+]:
+    _spec(name, Fmt.FR, fpu_op=op, cycles=2)
+for name, op in [
+    ("feq.h", FpuOp.FEQ), ("flt.h", FpuOp.FLT), ("fle.h", FpuOp.FLE),
+]:
+    _spec(name, Fmt.FCMP, fpu_op=op, cycles=2)
+_spec("flh", Fmt.FLOAD, cycles=2)
+_spec("fsh", Fmt.FSTORE, cycles=1)
+_spec("fmv.x.h", Fmt.FMVXH)
+_spec("fmv.h.x", Fmt.FMVHX)
+_spec("fcvt.w.h", Fmt.FCVTWH, cycles=2)
+_spec("fcvt.h.w", Fmt.FCVTHW, cycles=2)
+
+_spec("frflags", Fmt.SYS)
+_spec("fsflags", Fmt.SYS)
+_spec("ecall", Fmt.SYS)
+
+#: Extra cycles charged when a branch is taken (pipeline refill).
+TAKEN_BRANCH_PENALTY = 2
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction.
+
+    ``rd``/``rs1``/``rs2`` index the integer file; ``fd``/``fs1``/``fs2``
+    the FP file; ``imm`` is the sign-extended immediate; ``target`` a
+    resolved absolute PC for branches/jumps.  The spec is resolved once
+    at construction — the simulator's hot loop reads it per executed
+    instruction.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    fd: int = 0
+    fs1: int = 0
+    fs2: int = 0
+    imm: int = 0
+    target: Optional[int] = None
+    source_line: int = 0
+    spec: Optional[Spec] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "spec", SPECS[self.mnemonic])
+
+
+REG_NAMES: Dict[str, int] = {}
+for i in range(32):
+    REG_NAMES[f"x{i}"] = i
+_ABI = (
+    ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1"]
+    + [f"a{i}" for i in range(8)]
+    + [f"s{i}" for i in range(2, 12)]
+    + [f"t{i}" for i in range(3, 7)]
+)
+for i, name in enumerate(_ABI):
+    REG_NAMES[name] = i
+REG_NAMES["fp"] = 8
+
+FREG_NAMES: Dict[str, int] = {f"f{i}": i for i in range(32)}
+_FABI = (
+    [f"ft{i}" for i in range(8)]
+    + ["fs0", "fs1"]
+    + [f"fa{i}" for i in range(8)]
+    + [f"fs{i}" for i in range(2, 12)]
+    + [f"ft{i}" for i in range(8, 12)]
+)
+for i, name in enumerate(_FABI):
+    FREG_NAMES[name] = i

@@ -1,0 +1,241 @@
+"""Trace-to-instruction mappers for the ALU and FPU (§3.3.5).
+
+This module is the per-microarchitecture "expert knowledge" the paper
+describes: a lookup table linking module-level signal activation to
+instructions.  For our core the contract is direct —
+
+* one ALU operation per cycle maps to one R-type instruction whose
+  opcode field equals the module's ``op`` input, and
+* one FPU operation per valid cycle maps to one FP instruction.
+
+Because the gate-level unit holds operand registers across the drain
+cycles of each instruction (see :mod:`repro.cpu.cosim`), a module-level
+transition between BMC frames t and t+1 is reproduced by issuing the
+frame-t instruction followed by the frame-t+1 instruction back to back.
+
+The FPU mapper also implements the paper's "FC" rule: a witness whose
+only observable corruption is a status flag that an earlier instruction
+of the same trace already set (flags are sticky) cannot be converted
+into a self-checking test (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+from ..formal.bmc import InputAssumption
+from ..formal.trace import Trace
+from ..lifting.models import FailureModel
+from ..lifting.testcase import TestCase, TestInstruction, UnmappableTraceError
+from .alu_design import AluOp, VALID_ALU_OPS, alu_reference
+from .fpu_design import FPU_LATENCY, FpuOp, VALID_FPU_OPS, fpu_reference
+from .mdu_design import MduOp, VALID_MDU_OPS, mdu_reference
+
+ALU_MNEMONIC: Dict[AluOp, str] = {
+    AluOp.ADD: "add",
+    AluOp.SUB: "sub",
+    AluOp.SLL: "sll",
+    AluOp.SLT: "slt",
+    AluOp.SLTU: "sltu",
+    AluOp.XOR: "xor",
+    AluOp.SRL: "srl",
+    AluOp.SRA: "sra",
+    AluOp.OR: "or",
+    AluOp.AND: "and",
+}
+
+FPU_MNEMONIC: Dict[FpuOp, str] = {
+    FpuOp.FADD: "fadd.h",
+    FpuOp.FSUB: "fsub.h",
+    FpuOp.FMUL: "fmul.h",
+    FpuOp.FMIN: "fmin.h",
+    FpuOp.FMAX: "fmax.h",
+    FpuOp.FEQ: "feq.h",
+    FpuOp.FLT: "flt.h",
+    FpuOp.FLE: "fle.h",
+}
+
+
+class AluMapper:
+    """IsaMapper for the integer ALU."""
+
+    unit = "alu"
+
+    def assumptions(self) -> Sequence[InputAssumption]:
+        # Standard RV32I code never issues the PULP SIMD modes, so the
+        # witness is restricted to mode 0 (the paper's assume-property
+        # restriction to "valid operations").
+        return [
+            InputAssumption("op", VALID_ALU_OPS),
+            InputAssumption.fixed("mode", 0),
+            InputAssumption.fixed("dft", 0),
+        ]
+
+    def trace_to_test(
+        self,
+        trace: Trace,
+        golden_outputs: Sequence[Mapping[str, int]],
+        model: FailureModel,
+        name: str,
+    ) -> TestCase:
+        case = TestCase(name=name, unit=self.unit, model=model, source_trace=trace)
+        for frame in trace.inputs:
+            op = frame.get("op", 0)
+            if op not in VALID_ALU_OPS:
+                raise UnmappableTraceError(
+                    f"witness uses illegal ALU opcode {op}"
+                )
+            a = frame.get("a", 0)
+            b = frame.get("b", 0)
+            case.instructions.append(
+                TestInstruction(
+                    mnemonic=ALU_MNEMONIC[AluOp(op)],
+                    operands={"rs1": a, "rs2": b},
+                    expected=alu_reference(op, a, b),
+                )
+            )
+        if not case.instructions:
+            raise UnmappableTraceError("empty witness")
+        return case
+
+
+MDU_MNEMONIC: Dict[MduOp, str] = {
+    MduOp.MUL: "mul",
+    MduOp.MULH: "mulh",
+    MduOp.MULHSU: "mulhsu",
+    MduOp.MULHU: "mulhu",
+}
+
+
+class MduMapper:
+    """IsaMapper for the multiply unit."""
+
+    unit = "mdu"
+
+    def assumptions(self) -> Sequence[InputAssumption]:
+        return [
+            InputAssumption("op", VALID_MDU_OPS),
+            InputAssumption.fixed("dft", 0),
+        ]
+
+    def trace_to_test(
+        self,
+        trace: Trace,
+        golden_outputs: Sequence[Mapping[str, int]],
+        model: FailureModel,
+        name: str,
+    ) -> TestCase:
+        case = TestCase(
+            name=name, unit=self.unit, model=model, source_trace=trace
+        )
+        for frame in trace.inputs:
+            op = frame.get("op", 0)
+            if op not in VALID_MDU_OPS:
+                raise UnmappableTraceError(
+                    f"witness uses illegal MDU opcode {op}"
+                )
+            a = frame.get("a", 0)
+            b = frame.get("b", 0)
+            case.instructions.append(
+                TestInstruction(
+                    mnemonic=MDU_MNEMONIC[MduOp(op)],
+                    operands={"rs1": a, "rs2": b},
+                    expected=mdu_reference(op, a, b),
+                )
+            )
+        if not case.instructions:
+            raise UnmappableTraceError("empty witness")
+        return case
+
+
+#: Flag output-net names of the FPU module (bit i of the flags port).
+_FLAG_NETS = tuple(f"flags[{i}]" for i in range(5))
+
+
+class FpuMapper:
+    """IsaMapper for the binary16 FPU."""
+
+    unit = "fpu"
+
+    def assumptions(self) -> Sequence[InputAssumption]:
+        # Software reaches the FPU only through issued instructions, so
+        # the witness must model back-to-back issue: a valid opcode with
+        # in_valid asserted every cycle.  (Idle bubbles between issues
+        # are not precisely controllable from assembly.)
+        return [
+            InputAssumption("op", VALID_FPU_OPS),
+            InputAssumption.fixed("in_valid", 1),
+            # Our ISA always issues round-to-nearest-even.
+            InputAssumption.fixed("rm", 0),
+            InputAssumption.fixed("dft", 0),
+        ]
+
+    def trace_to_test(
+        self,
+        trace: Trace,
+        golden_outputs: Sequence[Mapping[str, int]],
+        model: FailureModel,
+        name: str,
+    ) -> TestCase:
+        case = TestCase(name=name, unit=self.unit, model=model, source_trace=trace)
+        issued: List[int] = []  # frame index of each issued instruction
+        for index, frame in enumerate(trace.inputs):
+            if not frame.get("in_valid", 0):
+                continue  # pipeline bubble: no instruction this frame
+            op = frame.get("op", 0)
+            if op not in VALID_FPU_OPS:
+                raise UnmappableTraceError(
+                    f"witness uses illegal FPU opcode {op}"
+                )
+            a = frame.get("a", 0)
+            b = frame.get("b", 0)
+            value, flags = fpu_reference(op, a, b)
+            case.instructions.append(
+                TestInstruction(
+                    mnemonic=FPU_MNEMONIC[FpuOp(op)],
+                    operands={"rs1": a, "rs2": b},
+                    expected=value,
+                    expected_flags=flags,
+                )
+            )
+            issued.append(index)
+        if not case.instructions:
+            raise UnmappableTraceError(
+                "witness never asserts in_valid: failure not activatable "
+                "from software"
+            )
+        self._check_flag_only_observability(trace, case, issued)
+        return case
+
+    def _check_flag_only_observability(
+        self, trace: Trace, case: TestCase, issued: List[int]
+    ) -> None:
+        """Raise for the paper's FC scenario.
+
+        If every mismatching output bit of the witness is a status
+        flag, and the golden (sticky) flag accumulation from earlier
+        instructions already contains those bits, no software
+        comparison can observe the corruption.
+        """
+        mismatches = trace.mismatch_nets
+        if not mismatches:
+            return  # no observability data: assume convertible
+        if any(net not in _FLAG_NETS for net in mismatches):
+            return  # a data/valid bit differs: observable
+        corrupted_bits = 0
+        for net in mismatches:
+            corrupted_bits |= 1 << _FLAG_NETS.index(net)
+        # Which instruction produced the corrupted output?  The output
+        # registered at the property cycle belongs to the operation
+        # issued FPU_LATENCY frames earlier.
+        faulty_frame = trace.property_cycle - FPU_LATENCY
+        accumulated = 0
+        for position, frame_index in enumerate(issued):
+            if frame_index >= faulty_frame:
+                break
+            accumulated |= case.instructions[position].expected_flags or 0
+        if corrupted_bits and (accumulated & corrupted_bits) == corrupted_bits:
+            raise UnmappableTraceError(
+                "corruption is only visible on status flags already set "
+                "by earlier instructions of the trace"
+            )

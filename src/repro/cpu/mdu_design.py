@@ -1,0 +1,107 @@
+"""Gate-level multiply unit (MDU) — RV32M's multiplication subset.
+
+A third functional unit, beyond the paper's ALU/FPU pair, demonstrating
+the workflow's claim that "Vega's design can be applied to other
+instruction sets, microarchitectures, and process technologies" (§4):
+the same phases — SP profiling, aging STA, failure-model lifting, suite
+generation — run unmodified on this unit (see
+``benchmarks/test_extension_mdu.py``).
+
+Structure mirrors the CV32E40P MULT block: a two-stage pipeline around
+a 32x32 unsigned array multiplier, with sign corrections for the
+signed/mixed variants computed on the high word:
+
+    high(mulh)    = high_u - (a<0 ? b_u : 0) - (b<0 ? a_u : 0)
+    high(mulhsu)  = high_u - (a<0 ? b_u : 0)
+
+The unit carries the same mission-constant DFT hook as the ALU/FPU.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+from ..netlist.cells import CellLibrary, VEGA28
+from ..netlist.netlist import Netlist
+from ..rtl.signal import Module, mux, mux_by_index
+from ..rtl.synth import synthesize
+
+
+class MduOp(IntEnum):
+    MUL = 0      # low 32 bits of a * b
+    MULH = 1     # high 32, signed x signed
+    MULHSU = 2   # high 32, signed x unsigned
+    MULHU = 3    # high 32, unsigned x unsigned
+
+
+VALID_MDU_OPS = tuple(int(op) for op in MduOp)
+
+MDU_LATENCY = 2
+
+
+def build_mdu_module(width: int = 32) -> Module:
+    """The MDU as an RTL module (pre-synthesis)."""
+    m = Module("mdu")
+    op = m.input("op", 2)
+    a = m.input("a", width)
+    b = m.input("b", width)
+    dft = m.input("dft", 1)
+
+    op_q = m.register("op_q", 2)
+    a_q = m.register("a_q", width)
+    b_q = m.register("b_q", width)
+    dft_q = m.register("dft_q", 1)
+    res_q = m.register("res_q", width)
+    op_q.next = op
+    a_q.next = a
+    b_q.next = b
+    dft_q.next = dft
+
+    pattern = m.const(0x3C3C3C3C & ((1 << width) - 1), width)
+    av = a_q.q ^ (pattern & dft_q.q.repeat(width))
+    bv = b_q.q ^ (pattern & dft_q.q.repeat(width))
+
+    product = av * bv  # unsigned, 2*width bits
+    low = product[:width]
+    high_u = product[width:]
+
+    zero = m.const(0, width)
+    a_neg = av[width - 1]
+    b_neg = bv[width - 1]
+    corr_a = mux(a_neg, zero, bv)  # subtract b_u when a is negative
+    corr_b = mux(b_neg, zero, av)  # subtract a_u when b is negative
+    high_signed = high_u - corr_a - corr_b     # MULH
+    high_su = high_u - corr_a                  # MULHSU
+
+    res_q.next = mux_by_index(
+        op_q.q, [low, high_signed, high_su, high_u]
+    )
+    m.output("result", res_q.q)
+    return m
+
+
+def build_mdu(
+    width: int = 32, library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Synthesized MDU netlist on the vega28 library."""
+    return synthesize(build_mdu_module(width), library or VEGA28)
+
+
+def mdu_reference(op: int, a: int, b: int, width: int = 32) -> int:
+    """Golden software model of the MDU."""
+    mask = (1 << width) - 1
+    a &= mask
+    b &= mask
+
+    def signed(x: int) -> int:
+        return x - (1 << width) if x >> (width - 1) else x
+
+    operation = MduOp(op)
+    if operation is MduOp.MUL:
+        return (a * b) & mask
+    if operation is MduOp.MULH:
+        return ((signed(a) * signed(b)) >> width) & mask
+    if operation is MduOp.MULHSU:
+        return ((signed(a) * b) >> width) & mask
+    return ((a * b) >> width) & mask  # MULHU

@@ -1,0 +1,39 @@
+"""Formal verification: CDCL SAT solver, CNF encoding, bounded model checking."""
+
+from .bmc import (
+    BmcResult,
+    BmcStatus,
+    BoundedModelChecker,
+    CoverObjective,
+    InputAssumption,
+    suggested_depth,
+)
+from .dimacs import DimacsError, parse_dimacs, solver_from_dimacs, to_dimacs
+from .encode import EncodingError, encode_in_set, encode_instance, encode_xor_var
+from .equiv import EquivalenceError, EquivalenceResult, check_equivalence
+from .sat import SatResult, SatSolver, SatStatus
+from .trace import Trace
+
+__all__ = [
+    "BmcResult",
+    "BmcStatus",
+    "BoundedModelChecker",
+    "CoverObjective",
+    "InputAssumption",
+    "suggested_depth",
+    "DimacsError",
+    "parse_dimacs",
+    "solver_from_dimacs",
+    "to_dimacs",
+    "EncodingError",
+    "EquivalenceError",
+    "EquivalenceResult",
+    "check_equivalence",
+    "encode_in_set",
+    "encode_instance",
+    "encode_xor_var",
+    "SatResult",
+    "SatSolver",
+    "SatStatus",
+    "Trace",
+]

@@ -1,0 +1,177 @@
+"""SAT-based equivalence checking between two netlists.
+
+The classic miter construction: both netlists receive the same inputs,
+corresponding outputs are XORed, and the solver searches for an input
+making any XOR true.  UNSAT proves combinational equivalence; for
+sequential designs the check covers a bounded number of cycles from
+reset (sufficient for the feed-forward pipelines in this repo).
+
+Used to *formally* validate the netlist optimizer and the Verilog
+round-trip — eating our own dog food: the same CDCL engine that lifts
+aging faults proves our transformations safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..netlist.netlist import Netlist
+from .encode import encode_instance, encode_xor_var
+from .sat import SatSolver, SatStatus
+
+
+class EquivalenceError(Exception):
+    """Raised when the two netlists' interfaces do not match."""
+
+
+@dataclass
+class EquivalenceResult:
+    """Outcome of one check."""
+
+    equivalent: Optional[bool]  # None when the budget ran out
+    counterexample: Optional[Dict[str, int]] = None
+    cycle: int = -1
+    conflicts: int = 0
+
+
+def _check_interfaces(left: Netlist, right: Netlist) -> None:
+    def signature(netlist: Netlist):
+        return (
+            {(p.name, p.width) for p in netlist.input_ports()},
+            {(p.name, p.width) for p in netlist.output_ports()},
+        )
+
+    if signature(left) != signature(right):
+        raise EquivalenceError(
+            "port interfaces differ: "
+            f"{signature(left)} vs {signature(right)}"
+        )
+
+
+def _net_signature(netlist: Netlist):
+    """Canonical structural signature (net names abstracted away).
+
+    Nets are identified by their structural role: ``("in", port, bit)``
+    for inputs, ``("out", instance, pin)`` for cell outputs.  Two
+    netlists with equal signatures compute identical functions.
+    """
+    def net_id(net):
+        if net.driver is not None:
+            return ("cell", net.driver[0].name)
+        if net.is_input:
+            return ("in", net.name)
+        return ("float", net.name)
+
+    instances = []
+    for inst in sorted(netlist.instances.values(), key=lambda i: i.name):
+        pins = tuple(
+            (pin, net_id(inst.pins[pin])) for pin in inst.ctype.inputs
+        )
+        instances.append((inst.name, inst.ctype.name, inst.init, pins))
+    outputs = tuple(
+        (port.name, tuple(net_id(n) for n in port.nets))
+        for port in sorted(netlist.output_ports(), key=lambda p: p.name)
+    )
+    return tuple(instances), outputs
+
+
+def structurally_identical(left: Netlist, right: Netlist) -> bool:
+    """Sound syntactic equivalence: identical cells and connectivity.
+
+    Name-preserving flows (Verilog round-trips, no-op optimization)
+    hit this fast path; SAT handles everything else.
+    """
+    return _net_signature(left) == _net_signature(right)
+
+
+def check_equivalence(
+    left: Netlist,
+    right: Netlist,
+    depth: int = 1,
+    conflict_budget: int = 500_000,
+) -> EquivalenceResult:
+    """Miter check over ``depth`` cycles from reset.
+
+    ``depth=1`` suffices for purely combinational designs; sequential
+    pipelines need their pipeline depth + 1.  Structurally identical
+    netlists short-circuit without touching the solver.
+    """
+    _check_interfaces(left, right)
+    if structurally_identical(left, right):
+        return EquivalenceResult(equivalent=True)
+    solver = SatSolver()
+    input_ports = sorted(p.name for p in left.input_ports())
+    output_ports = sorted(p.name for p in left.output_ports())
+
+    def unroll(netlist: Netlist) -> List[Dict[str, int]]:
+        """Frame-by-frame encoding; returns per-frame net->var maps."""
+        frames: List[Dict[str, int]] = []
+        order = netlist.levelize()
+        dffs = netlist.dffs()
+        for t in range(depth):
+            var_of: Dict[str, int] = {}
+            for name in input_ports:
+                for bit_index, net in enumerate(netlist.ports[name].nets):
+                    # Shared input variables across both netlists.
+                    var_of[net.name] = shared_inputs[t][(name, bit_index)]
+            for dff in dffs:
+                q_name = dff.output_net.name
+                if t == 0:
+                    q_var = solver.new_var()
+                    solver.add_clause([q_var] if dff.init else [-q_var])
+                    var_of[q_name] = q_var
+                else:
+                    var_of[q_name] = frames[t - 1][dff.pins["D"].name]
+            for inst in order:
+                out_name = inst.output_net.name
+                var_of[out_name] = solver.new_var()
+                encode_instance(solver, inst, var_of)
+            frames.append(var_of)
+        return frames
+
+    shared_inputs: List[Dict[Tuple[str, int], int]] = []
+    for _t in range(depth):
+        frame_vars = {}
+        for name in input_ports:
+            for bit_index in range(left.ports[name].width):
+                frame_vars[(name, bit_index)] = solver.new_var()
+        shared_inputs.append(frame_vars)
+
+    left_frames = unroll(left)
+    right_frames = unroll(right)
+
+    # Miter: any output bit differing in any frame.
+    diffs: List[int] = []
+    for t in range(depth):
+        for name in output_ports:
+            for bit_index in range(left.ports[name].width):
+                l_net = left.ports[name].nets[bit_index].name
+                r_net = right.ports[name].nets[bit_index].name
+                diffs.append(
+                    encode_xor_var(
+                        solver,
+                        left_frames[t][l_net],
+                        right_frames[t][r_net],
+                    )
+                )
+    solver.add_clause(diffs)
+
+    result = solver.solve(conflict_limit=conflict_budget)
+    if result.status is SatStatus.UNKNOWN:
+        return EquivalenceResult(equivalent=None, conflicts=result.conflicts)
+    if result.status is SatStatus.UNSAT:
+        return EquivalenceResult(equivalent=True, conflicts=result.conflicts)
+    # SAT: extract the distinguishing input sequence (first frame shown).
+    counterexample: Dict[str, int] = {}
+    for name in input_ports:
+        value = 0
+        for bit_index in range(left.ports[name].width):
+            if result.model.get(shared_inputs[0][(name, bit_index)], False):
+                value |= 1 << bit_index
+        counterexample[name] = value
+    return EquivalenceResult(
+        equivalent=False,
+        counterexample=counterexample,
+        conflicts=result.conflicts,
+    )

@@ -1,0 +1,421 @@
+"""A CDCL SAT solver (conflict-driven clause learning).
+
+The paper drives JasperGold to find traces covering its failure models.
+With no SMT/SAT package available offline, this module implements the
+solver itself: two-watched-literal propagation, 1UIP conflict analysis
+with clause learning and non-chronological backjumping, EVSIDS-style
+decision activity with phase saving, geometric restarts, and learned-
+clause garbage collection.
+
+A configurable conflict budget turns "too hard" into an explicit
+``UNKNOWN`` result — which the Vega workflow reports as the paper's
+"FF" (formal-tool timeout) outcome in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+
+class SatStatus(Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call; ``model[var] -> bool`` when SAT."""
+
+    status: SatStatus
+    model: Dict[int, bool] = field(default_factory=dict)
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.status is SatStatus.SAT
+
+
+class _Clause:
+    __slots__ = ("lits", "learned", "activity")
+
+    def __init__(self, lits: List[int], learned: bool = False):
+        self.lits = lits
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SatSolver:
+    """CDCL solver over DIMACS-style signed integer literals.
+
+    Variables are positive integers; literal ``-v`` is the negation of
+    ``v``.  Typical use::
+
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        result = solver.solve()
+        assert result and result.model[b]
+    """
+
+    def __init__(self):
+        self._nvars = 0
+        # Internal literal encoding: 2v for +v, 2v+1 for -v.
+        self._watches: List[List[_Clause]] = [[], []]
+        self._val: List[int] = [-1]  # -1 unassigned / 0 false / 1 true
+        self._level: List[int] = [0]
+        self._reason: List[Optional[_Clause]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._trail: List[int] = []  # internal lits, assignment order
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._clauses: List[_Clause] = []
+        self._learned: List[_Clause] = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        self._unsat = False
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        # Optional DRAT proof log: learned clauses in order, for
+        # external checking of UNSAT results (drat-trim compatible).
+        self.proof_logging = False
+        self._proof: List[List[int]] = []
+
+    # ------------------------------------------------------------------
+    # problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        self._nvars += 1
+        self._val.append(-1)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        self._watches.append([])
+        self._watches.append([])
+        return self._nvars
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a clause of signed literals; duplicates and tautologies
+        are simplified away.  Adding while partially solved is not
+        supported — build the full CNF, then solve."""
+        seen: Dict[int, int] = {}
+        out: List[int] = []
+        for lit in lits:
+            var = abs(lit)
+            if var == 0 or var > self._nvars:
+                raise ValueError(f"unknown variable in literal {lit}")
+            internal = (var << 1) | (lit < 0)
+            prior = seen.get(var)
+            if prior is None:
+                seen[var] = internal
+                out.append(internal)
+            elif prior != internal:
+                return  # tautology: v and -v in the same clause
+        if not out:
+            self._unsat = True
+            return
+        if len(out) == 1:
+            # Unit at the root level.
+            lit = out[0]
+            current = self._lit_val(lit)
+            if current == 0:
+                self._unsat = True
+            elif current == -1:
+                self._enqueue(lit, None)
+            return
+        clause = _Clause(out)
+        self._clauses.append(clause)
+        # watches[w] holds the clauses currently watching literal w; the
+        # clause is revisited when w becomes false.
+        self._watches[out[0]].append(clause)
+        self._watches[out[1]].append(clause)
+
+    @property
+    def num_vars(self) -> int:
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        return len(self._clauses)
+
+    def drat_proof(self) -> str:
+        """The learned-clause trail in DRAT format.
+
+        Every CDCL-learned clause is RUP (reverse unit propagation)
+        with respect to the formula plus earlier learned clauses, so
+        the trail — terminated by the empty clause for UNSAT results —
+        is checkable by standard DRAT checkers.  Enable with
+        ``solver.proof_logging = True`` before solving.
+        """
+        lines = [
+            " ".join(str(l) for l in clause) + " 0"
+            for clause in self._proof
+        ]
+        lines.append("0")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _lit_val(self, lit: int) -> int:
+        value = self._val[lit >> 1]
+        if value < 0:
+            return -1
+        return value ^ (lit & 1)
+
+    def _enqueue(self, lit: int, reason: Optional[_Clause]) -> None:
+        var = lit >> 1
+        self._val[var] = 1 - (lit & 1)
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = self._val[var]
+        self._trail.append(lit)
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            false_lit = lit ^ 1
+            watchers = self._watches[false_lit]
+            keep: List[_Clause] = []
+            conflict = None
+            index = 0
+            count = len(watchers)
+            while index < count:
+                clause = watchers[index]
+                index += 1
+                lits = clause.lits
+                # Ensure the false literal sits at position 1.
+                if lits[0] == false_lit:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._lit_val(first) == 1:
+                    keep.append(clause)
+                    continue
+                # Search for a new literal to watch.
+                moved = False
+                for k in range(2, len(lits)):
+                    if self._lit_val(lits[k]) != 0:
+                        # lits[k] is not false, so it differs from
+                        # false_lit: the append never targets the list
+                        # being rebuilt here.
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watches[lits[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                keep.append(clause)
+                if self._lit_val(first) == 0:
+                    # Conflict: keep remaining watchers, bail out.
+                    keep.extend(watchers[index:count])
+                    conflict = clause
+                    break
+                self.propagations += 1
+                self._enqueue(first, clause)
+            self._watches[false_lit] = keep
+            if conflict is not None:
+                return conflict
+        return None
+
+    def _analyze(self, conflict: _Clause) -> tuple[List[int], int]:
+        """1UIP conflict analysis; returns (learned clause, backjump level)."""
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        lit = -1
+        reason: Optional[_Clause] = conflict
+        trail_index = len(self._trail) - 1
+        current_level = len(self._trail_lim)
+
+        while True:
+            assert reason is not None
+            self._bump_clause(reason)
+            # Skip position 0 (the implied literal) except for the
+            # initial conflict clause, where every literal matters.
+            start = 1 if lit != -1 else 0
+            for clause_lit in reason.lits[start:]:
+                var = clause_lit >> 1
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump_var(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(clause_lit)
+            # Walk back to the next marked literal on the trail.
+            while not seen[self._trail[trail_index] >> 1]:
+                trail_index -= 1
+            lit = self._trail[trail_index]
+            trail_index -= 1
+            var = lit >> 1
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[var]
+        learned[0] = lit ^ 1
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest decision level in the clause.
+        max_index = 1
+        for i in range(2, len(learned)):
+            if self._level[learned[i] >> 1] > self._level[learned[max_index] >> 1]:
+                max_index = i
+        learned[1], learned[max_index] = learned[max_index], learned[1]
+        return learned, self._level[learned[1] >> 1]
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = lit >> 1
+            self._val[var] = -1
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    def _bump_var(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for i in range(1, self._nvars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _bump_clause(self, clause: _Clause) -> None:
+        if not clause.learned:
+            return
+        clause.activity += self._cla_inc
+        if clause.activity > 1e20:
+            for c in self._learned:
+                c.activity *= 1e-20
+            self._cla_inc *= 1e-20
+
+    def _decide(self) -> int:
+        """Pick the unassigned variable with the highest activity."""
+        best = 0
+        best_activity = -1.0
+        values = self._val
+        activity = self._activity
+        for var in range(1, self._nvars + 1):
+            if values[var] < 0 and activity[var] > best_activity:
+                best = var
+                best_activity = activity[var]
+        return best
+
+    def _reduce_db(self) -> None:
+        """Drop the colder half of the learned clauses."""
+        self._learned.sort(key=lambda c: c.activity)
+        cutoff = len(self._learned) // 2
+        removed = set()
+        kept: List[_Clause] = []
+        for i, clause in enumerate(self._learned):
+            # Never drop clauses currently acting as reasons.
+            is_reason = any(
+                self._reason[lit >> 1] is clause for lit in clause.lits[:1]
+            )
+            if i < cutoff and not is_reason and len(clause.lits) > 2:
+                removed.add(id(clause))
+            else:
+                kept.append(clause)
+        if not removed:
+            return
+        self._learned = kept
+        for lit in range(2, 2 * self._nvars + 2):
+            self._watches[lit] = [
+                c for c in self._watches[lit] if id(c) not in removed
+            ]
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+    def solve(self, conflict_limit: Optional[int] = None) -> SatResult:
+        if self._unsat:
+            return SatResult(SatStatus.UNSAT)
+        if self._propagate() is not None:
+            return SatResult(SatStatus.UNSAT)
+
+        restart_interval = 100.0
+        conflicts_until_restart = restart_interval
+        max_learned = max(1000, len(self._clauses) // 2)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_until_restart -= 1
+                if not self._trail_lim:
+                    return SatResult(
+                        SatStatus.UNSAT,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                    )
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    self._enqueue(learned[0], None)
+                else:
+                    clause = _Clause(learned, learned=True)
+                    clause.activity = self._cla_inc
+                    self._learned.append(clause)
+                    self._watches[learned[0]].append(clause)
+                    self._watches[learned[1]].append(clause)
+                    self._enqueue(learned[0], clause)
+                if self.proof_logging:
+                    self._proof.append(
+                        [(l >> 1) * (-1 if l & 1 else 1) for l in learned]
+                    )
+                self._var_inc /= self._var_decay
+                self._cla_inc /= self._cla_decay
+                if conflict_limit is not None and self.conflicts >= conflict_limit:
+                    self._backtrack(0)
+                    return SatResult(
+                        SatStatus.UNKNOWN,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                    )
+                if len(self._learned) > max_learned:
+                    self._reduce_db()
+                    max_learned = int(max_learned * 1.3)
+                continue
+
+            if conflicts_until_restart <= 0:
+                conflicts_until_restart = restart_interval
+                restart_interval *= 1.5
+                self._backtrack(0)
+                continue
+
+            var = self._decide()
+            if var == 0:
+                model = {
+                    v: bool(self._val[v]) for v in range(1, self._nvars + 1)
+                }
+                result = SatResult(
+                    SatStatus.SAT,
+                    model=model,
+                    conflicts=self.conflicts,
+                    decisions=self.decisions,
+                    propagations=self.propagations,
+                )
+                self._backtrack(0)
+                return result
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            # Phase saving: re-try the variable's previous polarity.
+            lit = (var << 1) | (0 if self._phase[var] else 1)
+            self._enqueue(lit, None)

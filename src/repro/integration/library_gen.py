@@ -1,0 +1,393 @@
+"""Software aging-library generation — §3.4.1 of the paper.
+
+The lifted test cases are packaged three ways:
+
+* an **assembly suite**: one self-checking program containing every
+  test (register allocation happens here, as §3.3.5 defers it), used
+  directly by the Table 6/7 co-simulation harness;
+* a **callable routine** (``__vega_tests``) with full save/restore,
+  spliced into applications by profile-guided integration; and
+* a **C source artifact** with each test in inline-assembly form plus
+  helper functions for sequential/random scheduling and an exception
+  hook — the file a real deployment would compile and link.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..cpu.asm import assemble
+from ..cpu.cpu import Cpu, CpuStall
+from ..lifting.testcase import TestCase
+
+#: Exit value a spliced application reports when a test fails.  The
+#: value is produced with a single ``lui`` (0xDEAD << 12) so that the
+#: reporting path itself never flows through the faulty ALU.
+FAULT_SENTINEL = 0xDEAD << 12
+
+#: Integer scratch registers for operands (cycled per instruction).
+_OPERAND_REGS = ("t1", "t2", "t3", "t4", "t5", "t6", "a6", "a7")
+#: Integer registers holding results until the compare phase.
+_RESULT_REGS = ("s2", "s3", "s4", "s5", "s6", "s7")
+#: FP operand and result registers.
+_F_OPERAND_REGS = ("ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7")
+_F_RESULT_REGS = ("fs0", "fs1", "fs2", "fs3", "fs4", "fs5")
+
+
+class AgingFaultDetected(Exception):
+    """Raised by the Python runner when a test case fails.
+
+    The C artifact's analogue is the configurable exception hook the
+    paper describes for languages with exception support.
+    """
+
+    def __init__(self, test_name: str, stalled: bool = False):
+        self.test_name = test_name
+        self.stalled = stalled
+        super().__init__(
+            f"aging fault detected by {test_name!r}"
+            + (" (CPU stall)" if stalled else "")
+        )
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of running the suite against a (possibly failing) unit."""
+
+    detected: bool
+    detected_by: Optional[str] = None
+    detected_index: Optional[int] = None
+    stalled: bool = False
+    cycles: int = 0
+
+
+class ConstantPool:
+    """ALU-free constant materialization for test bodies.
+
+    Plain ``li`` expands to ``lui + addi``, and ``addi`` flows through
+    the very ALU under test.  A unit that corrupts additions then
+    corrupts the test's own operands and expected values, which can
+    *mask* the fault: the operand error and the result error cancel.
+    The pool sidesteps the datapath entirely — constants are assembled
+    into a ``.data`` table and fetched with ``lui %hi`` + ``lw %lo``,
+    exercising only the load/store path.
+    """
+
+    def __init__(self, label: str):
+        self.label = label
+        self.values: List[int] = []
+
+    def load(self, reg: str, value: int, base: str = "t0") -> List[str]:
+        offset = 4 * len(self.values)
+        self.values.append(value & 0xFFFFFFFF)
+        ref = f"{self.label}+{offset}" if offset else self.label
+        return [
+            f"    lui {base}, %hi({ref})",
+            f"    lw {reg}, %lo({ref})({base})",
+        ]
+
+    def data_lines(self) -> List[str]:
+        if not self.values:
+            return []
+        lines = [".data", f"{self.label}:"]
+        for start in range(0, len(self.values), 8):
+            chunk = self.values[start : start + 8]
+            lines.append("    .word " + ", ".join(str(v) for v in chunk))
+        lines.append(".text")
+        return lines
+
+
+def render_test_body(
+    case: TestCase, fail_label: str, pool: ConstantPool
+) -> List[str]:
+    """Assembly for one test case: loads, back-to-back ops, compares.
+
+    Operand materialization happens *before* the checked operations so
+    the unit under test sees the ops in consecutive issue order — the
+    cycle pattern the BMC witness requires.  Every constant comes from
+    ``pool`` (see :class:`ConstantPool` for why ``li`` is avoided).
+    """
+    lines: List[str] = [f"    # {case.name} ({case.model.label})"]
+    if len(case.instructions) > len(_RESULT_REGS):
+        raise ValueError(
+            f"test {case.name} has {len(case.instructions)} checked "
+            f"instructions; max {len(_RESULT_REGS)} supported"
+        )
+    if case.unit in ("alu", "mdu"):
+        for index, ins in enumerate(case.instructions):
+            lines += pool.load(_OPERAND_REGS[2 * index], ins.operands["rs1"])
+            lines += pool.load(
+                _OPERAND_REGS[2 * index + 1], ins.operands["rs2"]
+            )
+        for index, ins in enumerate(case.instructions):
+            lines.append(
+                f"    {ins.mnemonic} {_RESULT_REGS[index]}, "
+                f"{_OPERAND_REGS[2 * index]}, {_OPERAND_REGS[2 * index + 1]}"
+            )
+        for index, ins in enumerate(case.instructions):
+            if ins.expected is None:
+                continue
+            lines += pool.load("t0", ins.expected)
+            lines.append(f"    bne {_RESULT_REGS[index]}, t0, {fail_label}")
+    elif case.unit == "fpu":
+        lines.append("    fsflags x0")
+        for index, ins in enumerate(case.instructions):
+            lines += pool.load("t0", ins.operands["rs1"])
+            lines.append(f"    fmv.h.x {_F_OPERAND_REGS[2 * index]}, t0")
+            lines += pool.load("t0", ins.operands["rs2"])
+            lines.append(f"    fmv.h.x {_F_OPERAND_REGS[2 * index + 1]}, t0")
+        expected_flags = 0
+        for index, ins in enumerate(case.instructions):
+            compare_style = ins.mnemonic in ("feq.h", "flt.h", "fle.h")
+            if compare_style:
+                lines.append(
+                    f"    {ins.mnemonic} {_RESULT_REGS[index]}, "
+                    f"{_F_OPERAND_REGS[2 * index]}, {_F_OPERAND_REGS[2 * index + 1]}"
+                )
+            else:
+                lines.append(
+                    f"    {ins.mnemonic} {_F_RESULT_REGS[index]}, "
+                    f"{_F_OPERAND_REGS[2 * index]}, {_F_OPERAND_REGS[2 * index + 1]}"
+                )
+            if ins.expected_flags is not None:
+                expected_flags |= ins.expected_flags
+        for index, ins in enumerate(case.instructions):
+            if ins.expected is None:
+                continue
+            compare_style = ins.mnemonic in ("feq.h", "flt.h", "fle.h")
+            if compare_style:
+                lines += pool.load("t0", ins.expected)
+                lines.append(f"    bne {_RESULT_REGS[index]}, t0, {fail_label}")
+            else:
+                lines += pool.load("t1", ins.expected)
+                lines.append(f"    fmv.x.h t0, {_F_RESULT_REGS[index]}")
+                lines.append(f"    bne t0, t1, {fail_label}")
+        lines += pool.load("t1", expected_flags)
+        lines.append("    frflags t0")
+        lines.append(f"    bne t0, t1, {fail_label}")
+    else:
+        raise ValueError(f"unknown unit {case.unit!r}")
+    return lines
+
+
+@dataclass
+class AgingLibrary:
+    """The packaged test suite."""
+
+    name: str
+    test_cases: List[TestCase] = field(default_factory=list)
+    seed: int = 2024
+
+    @classmethod
+    def from_lifting_report(
+        cls, report, name: str = "vega_tests", seed: int = 2024
+    ) -> "AgingLibrary":
+        return cls(name=name, test_cases=list(report.test_cases), seed=seed)
+
+    # -- scheduling ------------------------------------------------------
+    def order(self, strategy: str = "sequential") -> List[int]:
+        """Test execution order per the requested scheduling strategy."""
+        indices = list(range(len(self.test_cases)))
+        if strategy == "sequential":
+            return indices
+        if strategy == "random":
+            rng = random.Random(self.seed)
+            rng.shuffle(indices)
+            return indices
+        raise ValueError(f"unknown scheduling strategy {strategy!r}")
+
+    # -- standalone suite program -----------------------------------------
+    def suite_source(self, strategy: str = "sequential") -> str:
+        """A standalone program: run every test, exit 0 or 1+index."""
+        lines = [f"# aging test suite {self.name!r}", ".text"]
+        executed = self.order(strategy)
+        pool = ConstantPool(f"__pool_{_c_ident(self.name)}")
+        for position, test_index in enumerate(executed):
+            case = self.test_cases[test_index]
+            lines.extend(render_test_body(case, f"fail_{position}", pool))
+        # Exit codes are lui-encoded (value << 12): a single lui never
+        # touches the ALU backend, so a corrupted unit cannot falsify
+        # the suite's own verdict.
+        lines.append("    lui a0, 0")
+        lines.append("    ecall")
+        for position, test_index in enumerate(executed):
+            lines.append(f"fail_{position}:")
+            lines.append(f"    lui a0, {position + 1}")
+            lines.append("    ecall")
+        lines.extend(pool.data_lines())
+        return "\n".join(lines) + "\n"
+
+    def run_suite(
+        self,
+        alu=None,
+        fpu=None,
+        mdu=None,
+        strategy: str = "sequential",
+        max_instructions: int = 500_000,
+    ) -> DetectionResult:
+        """Execute the suite against the given unit backends.
+
+        A non-zero exit identifies the detecting test; a CPU stall (the
+        handshake-failure mode) also counts as detection, per §5.2.3.
+        """
+        executed = self.order(strategy)
+        program = assemble(self.suite_source(strategy))
+        cpu = Cpu(program, alu=alu, fpu=fpu, mdu=mdu)
+        try:
+            result = cpu.run(max_instructions=max_instructions)
+        except CpuStall:
+            return DetectionResult(
+                detected=True, stalled=True, cycles=cpu.cycles
+            )
+        if result.exit_value == 0:
+            return DetectionResult(detected=False, cycles=result.cycles)
+        position = (result.exit_value >> 12) - 1
+        if not 0 <= position < len(executed):
+            # The unit corrupted even the lui-encoded verdict; still an
+            # unambiguous detection, attribution unknown.
+            return DetectionResult(detected=True, cycles=result.cycles)
+        test_index = executed[position]
+        return DetectionResult(
+            detected=True,
+            detected_by=self.test_cases[test_index].name,
+            detected_index=test_index,
+            cycles=result.cycles,
+        )
+
+    def suite_cycles(self) -> int:
+        """Cycle cost of one full, fault-free suite execution (Table 5)."""
+        if not self.test_cases:
+            return 0
+        return self.run_suite().cycles
+
+    def raise_on_fault(self, result: DetectionResult) -> None:
+        """Exception-style reporting, as the generated library offers."""
+        if result.detected:
+            raise AgingFaultDetected(
+                result.detected_by or "<stall watchdog>",
+                stalled=result.stalled,
+            )
+
+    # -- callable routine for application splicing ------------------------
+    def routine_source(self, strategy: str = "sequential") -> str:
+        """``__vega_tests``: callable, state-preserving test routine.
+
+        Saves every register the tests touch (including ``fflags`` and
+        FP registers) so it can be spliced into arbitrary application
+        code; on failure it reports the :data:`FAULT_SENTINEL` exit.
+        """
+        int_saved = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "a6", "a7",
+                     "s2", "s3", "s4", "s5", "s6", "s7"]
+        f_saved = list(_F_OPERAND_REGS) + list(_F_RESULT_REGS)
+        frame = 4 * (len(int_saved) + 1) + 2 * len(f_saved) + 2
+        frame = (frame + 15) // 16 * 16
+        lines = ["__vega_tests:"]
+        lines.append(f"    addi sp, sp, -{frame}")
+        offset = 0
+        for reg in int_saved:
+            lines.append(f"    sw {reg}, {offset}(sp)")
+            offset += 4
+        for reg in f_saved:
+            lines.append(f"    fsh {reg}, {offset}(sp)")
+            offset += 2
+        offset = (offset + 3) // 4 * 4
+        flags_offset = offset
+        lines.append("    frflags t0")
+        lines.append(f"    sw t0, {flags_offset}(sp)")
+        pool = ConstantPool("__vega_pool")
+        for position, test_index in enumerate(self.order(strategy)):
+            case = self.test_cases[test_index]
+            lines.extend(render_test_body(case, "__vega_fault", pool))
+        lines.append("__vega_restore:")
+        lines.append(f"    lw t0, {flags_offset}(sp)")
+        lines.append("    fsflags t0")
+        offset = 0
+        for reg in int_saved:
+            lines.append(f"    lw {reg}, {offset}(sp)")
+            offset += 4
+        for reg in f_saved:
+            lines.append(f"    flh {reg}, {offset}(sp)")
+            offset += 2
+        lines.append(f"    addi sp, sp, {frame}")
+        lines.append("    ret")
+        lines.append("__vega_fault:")
+        lines.append(f"    lui a0, {FAULT_SENTINEL >> 12}")
+        lines.append("    ecall")
+        lines.extend(pool.data_lines())
+        return "\n".join(lines) + "\n"
+
+    # -- C artifact --------------------------------------------------------
+    def c_source(self) -> str:
+        """The generated C file of §3.4.1 (inline asm + helpers)."""
+        parts = [
+            "/* Auto-generated by Vega: aging-related SDC test library. */",
+            "#include <stdint.h>",
+            "#include <stddef.h>",
+            "",
+            "typedef void (*vega_fault_handler)(const char *test);",
+            "static vega_fault_handler vega_on_fault;",
+            "void vega_set_fault_handler(vega_fault_handler h) {",
+            "    vega_on_fault = h;",
+            "}",
+            "",
+        ]
+        for case in self.test_cases:
+            ident = _c_ident(case.name)
+            pool = ConstantPool(f"vega_pool_{ident}")
+            body = "\\n\\t".join(
+                line.strip()
+                for line in render_test_body(case, f"9f", pool)
+                if not line.strip().startswith("#")
+            )
+            parts.append(f"/* {case.model.label} */")
+            if pool.values:
+                words = ", ".join(f"{v:#x}u" for v in pool.values)
+                parts.append(
+                    f"static const uint32_t vega_pool_{ident}[] = {{{words}}};"
+                )
+            parts.append(f"static int vega_test_{_c_ident(case.name)}(void) {{")
+            parts.append("    int ok = 1;")
+            parts.append(f'    __asm__ volatile("{body}\\n\\t"')
+            parts.append('        "j 8f\\n"')
+            parts.append('        "9:\\n\\t" "li %0, 0\\n"')
+            parts.append('        "8:"')
+            parts.append('        : "+r"(ok) : : "memory");')
+            parts.append("    return ok;")
+            parts.append("}")
+            parts.append("")
+        parts.append("static int (*const vega_all_tests[])(void) = {")
+        for case in self.test_cases:
+            parts.append(f"    vega_test_{_c_ident(case.name)},")
+        parts.append("};")
+        parts.append(
+            "static const size_t vega_test_count = "
+            "sizeof(vega_all_tests) / sizeof(vega_all_tests[0]);"
+        )
+        parts.append("")
+        parts.append("int vega_run_sequential(void) {")
+        parts.append("    for (size_t i = 0; i < vega_test_count; i++)")
+        parts.append("        if (!vega_all_tests[i]()) {")
+        parts.append('            if (vega_on_fault) vega_on_fault("");')
+        parts.append("            return (int)i + 1;")
+        parts.append("        }")
+        parts.append("    return 0;")
+        parts.append("}")
+        parts.append("")
+        parts.append("int vega_run_random(uint32_t seed) {")
+        parts.append("    for (size_t i = 0; i < vega_test_count; i++) {")
+        parts.append("        seed = seed * 1664525u + 1013904223u;")
+        parts.append("        size_t k = seed % vega_test_count;")
+        parts.append("        if (!vega_all_tests[k]()) {")
+        parts.append('            if (vega_on_fault) vega_on_fault("");')
+        parts.append("            return (int)k + 1;")
+        parts.append("        }")
+        parts.append("    }")
+        parts.append("    return 0;")
+        parts.append("}")
+        return "\n".join(parts) + "\n"
+
+
+def _c_ident(name: str) -> str:
+    return "".join(c if c.isalnum() else "_" for c in name)

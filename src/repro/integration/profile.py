@@ -1,0 +1,255 @@
+"""Profile-guided test integration — §3.4.2 of the paper.
+
+The integrator:
+
+1. instruments the application with basic-block counters and runs it on
+   representative inputs (our ISA simulator's leader-PC profile),
+2. picks an integration point that is *routinely but not hotly*
+   executed,
+3. splices a call to the aging-test routine at that point,
+4. estimates the overhead by instruction counting (the paper compares
+   IR instruction counts before/after), and
+5. if the estimate exceeds the user threshold, gates the tests behind
+   an invocation counter so only every Nth execution runs them.
+
+The paper implements this as LLVM passes; here the "IR" is assembly
+text, which our toolchain can rewrite directly.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.config import TestIntegrationConfig
+from ..cpu.asm import assemble
+from ..cpu.cpu import Cpu, CpuStall
+from .library_gen import FAULT_SENTINEL, AgingLibrary
+
+
+@dataclass
+class BlockProfile:
+    """Execution counts per basic-block leader, plus totals."""
+
+    block_counts: Dict[int, int]
+    total_instructions: int
+    label_of_pc: Dict[int, str]
+
+    def labelled_counts(self) -> Dict[str, int]:
+        return {
+            self.label_of_pc[pc]: count
+            for pc, count in self.block_counts.items()
+            if pc in self.label_of_pc
+        }
+
+
+def profile_application(source: str) -> BlockProfile:
+    """Run the application with block counters (§3.4.2 step 1)."""
+    program = assemble(source)
+    cpu = Cpu(program, profile=True)
+    result = cpu.run()
+    label_of_pc = {
+        pc: label
+        for label, pc in program.symbols.items()
+        if pc < 4 * program.size
+    }
+    return BlockProfile(
+        block_counts=result.block_counts,
+        total_instructions=result.instructions,
+        label_of_pc=label_of_pc,
+    )
+
+
+@dataclass
+class IntegrationPlan:
+    """The integrator's decisions, for reporting."""
+
+    label: str
+    block_count: int
+    estimated_overhead: float
+    gate_period: int = 1  # 1 = ungated; N = run tests every Nth visit
+
+    @property
+    def gated(self) -> bool:
+        return self.gate_period > 1
+
+
+@dataclass
+class IntegratedApplication:
+    """An application with the aging tests spliced in."""
+
+    source: str
+    plan: IntegrationPlan
+    library: AgingLibrary
+
+    def run(self, alu=None, fpu=None, mdu=None, max_instructions: int = 20_000_000):
+        """Execute; returns (RunResult, fault_detected: bool)."""
+        program = assemble(self.source)
+        cpu = Cpu(program, alu=alu, fpu=fpu, mdu=mdu)
+        try:
+            result = cpu.run(max_instructions=max_instructions)
+        except CpuStall:
+            return None, True
+        return result, result.exit_value == FAULT_SENTINEL
+
+
+class ProfileGuidedIntegrator:
+    """Splices an aging library into an application, §3.4.2 style."""
+
+    def __init__(
+        self,
+        library: AgingLibrary,
+        config: Optional[TestIntegrationConfig] = None,
+    ):
+        self.library = library
+        self.config = config or TestIntegrationConfig()
+
+    # ------------------------------------------------------------------
+    def choose_block(self, profile: BlockProfile) -> Tuple[str, int]:
+        """Pick the integration label.
+
+        Candidates execute at least ``min_block_executions`` times
+        ("routinely accessed") and account for at most
+        ``max_block_share`` of dynamic instructions ("not frequently
+        invoked"); among them, the least-frequent wins.
+        """
+        candidates: List[Tuple[int, str]] = []
+        labelled = profile.labelled_counts()
+        for label, count in labelled.items():
+            if label.startswith("__vega"):
+                continue
+            if count < self.config.min_block_executions:
+                continue
+            share = count / max(1, profile.total_instructions)
+            if share > self.config.max_block_share:
+                continue
+            candidates.append((count, label))
+        if not candidates:
+            raise ValueError(
+                "no basic block satisfies the integration constraints"
+            )
+        count, label = min(candidates)
+        return label, count
+
+    def estimate_overhead(
+        self, profile: BlockProfile, block_count: int, gate_period: int = 1
+    ) -> float:
+        """Instruction-count overhead estimate (the paper's IR delta).
+
+        Tests run ``block_count / gate_period`` times; the gate itself
+        costs a handful of instructions on every visit.
+        """
+        suite_program = assemble(
+            self.library.suite_source() if self.library.test_cases else "ecall"
+        )
+        suite_instructions = max(0, suite_program.size - 1)
+        gate_cost = 8 if gate_period > 1 else 2
+        runs = block_count / gate_period
+        added = runs * suite_instructions + block_count * gate_cost
+        return added / max(1, profile.total_instructions)
+
+    def plan(self, profile: BlockProfile) -> IntegrationPlan:
+        label, count = self.choose_block(profile)
+        overhead = self.estimate_overhead(profile, count)
+        period = 1
+        while (
+            overhead > self.config.overhead_threshold
+            and period < 1 << 20
+        ):
+            period *= 2
+            overhead = self.estimate_overhead(profile, count, period)
+        return IntegrationPlan(
+            label=label,
+            block_count=count,
+            estimated_overhead=overhead,
+            gate_period=period,
+        )
+
+    # ------------------------------------------------------------------
+    def integrate(self, source: str) -> IntegratedApplication:
+        """Profile, plan, and splice; returns the rewritten program."""
+        profile = profile_application(source)
+        plan = self.plan(profile)
+        spliced = self._splice(source, plan)
+        return IntegratedApplication(
+            source=spliced, plan=plan, library=self.library
+        )
+
+    def _splice(self, source: str, plan: IntegrationPlan) -> str:
+        lines = source.splitlines()
+        out: List[str] = []
+        pattern = re.compile(rf"^\s*{re.escape(plan.label)}\s*:\s*$")
+        inline_pattern = re.compile(
+            rf"^(\s*){re.escape(plan.label)}\s*:\s*(\S.*)$"
+        )
+        spliced = False
+        for line in lines:
+            if not spliced and pattern.match(line.split("#")[0]):
+                out.append(line)
+                out.extend(self._call_site(plan))
+                spliced = True
+                continue
+            inline = None if spliced else inline_pattern.match(line.split("#")[0])
+            if inline:
+                out.append(f"{plan.label}:")
+                out.extend(self._call_site(plan))
+                out.append(f"    {inline.group(2)}")
+                spliced = True
+                continue
+            out.append(line)
+        if not spliced:
+            raise ValueError(f"label {plan.label!r} not found in source")
+        out.append("")
+        out.extend(self._support_code(plan))
+        return "\n".join(out) + "\n"
+
+    def _call_site(self, plan: IntegrationPlan) -> List[str]:
+        lines = [
+            "    # --- vega aging-test integration point ---",
+            "    addi sp, sp, -16",
+            "    sw ra, 0(sp)",
+        ]
+        if plan.gated:
+            lines.append("    jal ra, __vega_gate")
+        else:
+            lines.append("    jal ra, __vega_tests")
+        lines += [
+            "    lw ra, 0(sp)",
+            "    addi sp, sp, 16",
+            "    # --- end vega integration point ---",
+        ]
+        return lines
+
+    def _support_code(self, plan: IntegrationPlan) -> List[str]:
+        lines: List[str] = []
+        if plan.gated:
+            lines.append(".data")
+            lines.append("__vega_ctr: .word 0")
+            lines.append(".text")
+            lines.append("__vega_gate:")
+            lines.append("    addi sp, sp, -16")
+            lines.append("    sw t0, 0(sp)")
+            lines.append("    sw t1, 4(sp)")
+            lines.append("    sw t2, 8(sp)")
+            lines.append("    la t0, __vega_ctr")
+            lines.append("    lw t1, 0(t0)")
+            lines.append("    addi t1, t1, 1")
+            lines.append(f"    li t2, {plan.gate_period}")
+            lines.append("    blt t1, t2, __vega_gate_skip")
+            lines.append("    li t1, 0")
+            lines.append("    sw t1, 0(t0)")
+            lines.append("    lw t0, 0(sp)")
+            lines.append("    lw t1, 4(sp)")
+            lines.append("    lw t2, 8(sp)")
+            lines.append("    addi sp, sp, 16")
+            lines.append("    j __vega_tests")
+            lines.append("__vega_gate_skip:")
+            lines.append("    sw t1, 0(t0)")
+            lines.append("    lw t0, 0(sp)")
+            lines.append("    lw t1, 4(sp)")
+            lines.append("    lw t2, 8(sp)")
+            lines.append("    addi sp, sp, 16")
+            lines.append("    ret")
+        lines.extend(self.library.routine_source().splitlines())
+        return lines

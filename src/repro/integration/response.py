@@ -1,0 +1,171 @@
+"""Fault-response strategies — what happens *after* detection.
+
+The paper's aging library supports "different strategies of transistor
+aging detection and response" (§3.4.1) and the workflow's whole purpose
+is to "trigger software mitigations at application runtime" (§1).  This
+module implements three such strategies around the integrated
+application runner:
+
+* :class:`RetireResponse` — fail-stop: surface the fault and halt (the
+  data-center "drain and replace the node" action).
+* :class:`RetryResponse` — re-run the suite to classify the fault as
+  transient (environmental noise, §6.2) or persistent before escalating.
+* :class:`FallbackResponse` — software emulation: swap the faulty unit
+  for its golden software model and re-execute, trading speed for
+  correctness until the part is serviced.
+
+:func:`run_with_protection` drives an integrated application under a
+policy and reports the incident trail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..cpu.cpu import GoldenAlu, GoldenFpu, GoldenMdu, RunResult
+from .profile import IntegratedApplication
+
+
+class FaultAction(Enum):
+    NONE = "none"              # clean run, no fault observed
+    RETIRED = "retired"        # fail-stop
+    TRANSIENT = "transient"    # retry succeeded: fault did not recur
+    FELL_BACK = "fell_back"    # software emulation produced the result
+
+
+@dataclass
+class Incident:
+    """One observed fault and the policy's reaction."""
+
+    unit: str
+    stalled: bool
+    action: FaultAction
+    detail: str = ""
+
+
+@dataclass
+class ProtectedResult:
+    """Outcome of a protected execution."""
+
+    result: Optional[RunResult]
+    action: FaultAction
+    incidents: List[Incident] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+
+class RetireResponse:
+    """Fail-stop: report and halt — no result is produced."""
+
+    name = "retire"
+
+    def handle(self, app, unit, backends, stalled) -> ProtectedResult:
+        incident = Incident(
+            unit=unit,
+            stalled=stalled,
+            action=FaultAction.RETIRED,
+            detail="unit retired; workload must migrate",
+        )
+        return ProtectedResult(
+            result=None, action=FaultAction.RETIRED, incidents=[incident]
+        )
+
+
+class RetryResponse:
+    """Re-execute once to separate transient noise from real aging.
+
+    Environmental noise (voltage/temperature excursions, §6.2) can trip
+    a marginal path once; a persistent aging fault trips it again.  A
+    recurring fault escalates to the wrapped policy.
+    """
+
+    name = "retry"
+
+    def __init__(self, escalate=None):
+        self.escalate = escalate or RetireResponse()
+
+    def handle(self, app, unit, backends, stalled) -> ProtectedResult:
+        result, fault = app.run(**backends)
+        if result is not None and not fault:
+            incident = Incident(
+                unit=unit,
+                stalled=stalled,
+                action=FaultAction.TRANSIENT,
+                detail="fault did not recur on retry",
+            )
+            return ProtectedResult(
+                result=result,
+                action=FaultAction.TRANSIENT,
+                incidents=[incident],
+            )
+        escalated = self.escalate.handle(app, unit, backends, stalled)
+        escalated.incidents.insert(
+            0,
+            Incident(
+                unit=unit,
+                stalled=stalled,
+                action=escalated.action,
+                detail="fault recurred on retry; escalating",
+            ),
+        )
+        return escalated
+
+
+_GOLDEN = {"alu": GoldenAlu, "fpu": GoldenFpu, "mdu": GoldenMdu}
+
+
+class FallbackResponse:
+    """Software emulation: replace the faulty unit's backend with the
+    golden model and re-execute.
+
+    This is the strongest runtime mitigation: results stay correct at
+    the cost of the unit's hardware acceleration — exactly the
+    "software mitigations at application runtime" the paper motivates.
+    """
+
+    name = "fallback"
+
+    def handle(self, app, unit, backends, stalled) -> ProtectedResult:
+        emulated = dict(backends)
+        emulated[unit] = _GOLDEN[unit]()
+        result, fault = app.run(**emulated)
+        if result is None or fault:
+            # Even emulation failed: something beyond this unit is wrong.
+            return RetireResponse().handle(app, unit, emulated, stalled)
+        incident = Incident(
+            unit=unit,
+            stalled=stalled,
+            action=FaultAction.FELL_BACK,
+            detail=f"{unit} emulated in software; result recomputed",
+        )
+        return ProtectedResult(
+            result=result,
+            action=FaultAction.FELL_BACK,
+            incidents=[incident],
+        )
+
+
+def run_with_protection(
+    app: IntegratedApplication,
+    unit: str,
+    backends: Optional[Dict] = None,
+    policy=None,
+) -> ProtectedResult:
+    """Run an integrated application under a fault-response policy.
+
+    ``backends`` maps unit names ("alu"/"fpu"/"mdu") to the hardware
+    backends in use (gate-level, possibly failing).  When the embedded
+    aging tests flag a fault — by exit sentinel or CPU stall — the
+    policy takes over.
+    """
+    backends = dict(backends or {})
+    policy = policy or FallbackResponse()
+    result, fault = app.run(**backends)
+    stalled = result is None  # IntegratedApplication maps stalls to None
+    if result is not None and not fault:
+        return ProtectedResult(result=result, action=FaultAction.NONE)
+    return policy.handle(app, unit, backends, stalled)

@@ -1,0 +1,134 @@
+"""Fuzzing-based trace generation — the paper's §6.3 future direction.
+
+    "One avenue involves fast exploration of useful test cases via
+    random and fuzzing-based methods."
+
+This module is that avenue: instead of asking the bounded model checker
+for a witness, it *simulates* the cover-instrumented netlist (original +
+shadow replica + failure model) under random input sequences until the
+shadow outputs diverge from the originals.
+
+Compared with the formal path it is:
+
+* often faster per query on shallow faults (no CNF, no search),
+* unable to prove unreachability — a fruitless fuzz run means
+  "unknown", never the paper's UR verdict, and
+* biased toward easy-to-hit faults; rare activation conditions can take
+  unboundedly many trials.
+
+The ablation benchmark ``benchmarks/test_ablation_fuzz_vs_formal.py``
+quantifies the trade-off on the real ALU/FPU pairs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..formal.bmc import InputAssumption
+from ..formal.trace import Trace
+from ..sim.gatesim import GateSimulator
+from .instrument import CoverInstrumentation
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one fuzzing campaign."""
+
+    covered: bool
+    trace: Optional[Trace] = None
+    trials: int = 0
+    cycles_simulated: int = 0
+
+
+class FuzzTraceGenerator:
+    """Random search for failure-activating input sequences.
+
+    Honors the same :class:`InputAssumption` restrictions the BMC uses,
+    so generated traces stay within valid-instruction space and remain
+    convertible by the ISA mappers.
+    """
+
+    def __init__(
+        self,
+        instrumentation: CoverInstrumentation,
+        assumptions: Sequence[InputAssumption] = (),
+        seed: int = 0,
+    ):
+        self.instrumentation = instrumentation
+        self.netlist = instrumentation.netlist
+        self.seed = seed
+        self._sim = GateSimulator(self.netlist)
+        self._choices: Dict[str, Optional[List[int]]] = {}
+        restricted = {a.port: list(a.allowed) for a in assumptions}
+        for port in self.netlist.input_ports():
+            self._choices[port.name] = restricted.get(port.name)
+        self._widths = {
+            p.name: p.width for p in self.netlist.input_ports()
+        }
+
+    def _random_frame(self, rng: random.Random) -> Dict[str, int]:
+        frame = {}
+        for name, width in self._widths.items():
+            allowed = self._choices[name]
+            if allowed is not None:
+                frame[name] = rng.choice(allowed)
+            else:
+                frame[name] = rng.getrandbits(width)
+        return frame
+
+    def search(
+        self,
+        max_trials: int = 200,
+        max_depth: int = 6,
+    ) -> FuzzResult:
+        """Run up to ``max_trials`` random sequences of ``max_depth``.
+
+        Each trial resets the netlist (matching the BMC's reset
+        assumption), drives random legal inputs, and checks the cover
+        condition — any original/shadow output pair differing — each
+        cycle.  On a hit, the trace is truncated at the covering cycle.
+        """
+        rng = random.Random(self.seed)
+        pairs = self.instrumentation.output_pairs
+        cycles = 0
+        for trial in range(1, max_trials + 1):
+            self._sim.reset()
+            frames: List[Dict[str, int]] = []
+            observed: List[Dict[str, int]] = []
+            for depth in range(max_depth):
+                frame = self._random_frame(rng)
+                frames.append(frame)
+                self._sim.evaluate(frame)
+                cycles += 1
+                snapshot = {}
+                hit = False
+                mismatch_nets = []
+                for orig, shadow in pairs:
+                    ov = self._sim.read_net(orig) & 1
+                    sv = self._sim.read_net(shadow) & 1
+                    snapshot[orig] = ov
+                    snapshot[shadow] = sv
+                    if ov != sv:
+                        hit = True
+                        mismatch_nets.append(orig)
+                observed.append(snapshot)
+                if hit:
+                    trace = Trace(
+                        netlist_name=self.netlist.name,
+                        inputs=frames,
+                        observed=observed,
+                        property_cycle=depth,
+                        mismatch_nets=mismatch_nets,
+                    )
+                    return FuzzResult(
+                        covered=True,
+                        trace=trace,
+                        trials=trial,
+                        cycles_simulated=cycles,
+                    )
+                self._sim.step(frame)
+                cycles += 1  # evaluate + step both touch the netlist
+            # no hit this trial; next
+        return FuzzResult(covered=False, trials=max_trials, cycles_simulated=cycles)

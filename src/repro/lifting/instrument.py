@@ -1,0 +1,252 @@
+"""Failure-model instrumentation of netlists (§3.3.2).
+
+Two modes, exactly as the paper describes:
+
+* :func:`make_failing_netlist` rewires the *real* capture flop through
+  the failure model, producing a standalone "failing netlist" — a
+  circuit-level failure model usable in simulation (our Table 6/7
+  co-simulation) or exportable as Verilog for external tools.
+
+* :func:`instrument_for_cover` leaves the original circuit untouched
+  and instead builds a *shadow replica* of everything the capture flop
+  can influence, feeds the replica's copy of the flop from the failure
+  model, and returns the original/shadow output pairs whose mismatch is
+  the ``cover property`` the BMC must reach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..netlist.netlist import Instance, Net, Netlist
+from .models import CMode, EdgeQualifier, FailureModel, ViolationKind
+
+#: Name of the extra input port carrying a free-running wrong value in
+#: CMode.RANDOM failing netlists.
+RANDOM_C_PORT = "fm_c"
+
+
+class InstrumentationError(Exception):
+    """Raised when a model cannot be attached to the given netlist."""
+
+
+def _c_net(netlist: Netlist, model: FailureModel) -> Net:
+    """The net carrying the wrong value C."""
+    if model.c_mode is CMode.RANDOM:
+        if RANDOM_C_PORT in netlist.ports:
+            return netlist.ports[RANDOM_C_PORT].bit(0)
+        return netlist.add_input_port(RANDOM_C_PORT).bit(0)
+    net = netlist.add_net(f"fm_c_{model.label}")
+    tie = "TIE1" if model.c_mode is CMode.ONE else "TIE0"
+    netlist.add_instance(tie, {"Y": net}, name=f"fm_tie_{model.label}")
+    return net
+
+
+def _build_trigger(
+    netlist: Netlist, model: FailureModel, x: Instance
+) -> Net:
+    """Net that is 1 in cycles where the violation corrupts Y.
+
+    Setup: compares X(t) with X(t-1) via a history flop.  Hold:
+    compares X(t) with X(t+1), i.e. X's current D input (§3.3.2 and
+    Figure 6: "X(t+1) is derived from the input of X").
+    """
+    label = model.label
+    x_q = x.output_net
+    if model.kind is ViolationKind.SETUP:
+        hist_q = netlist.add_net(f"fm_hist_{label}")
+        netlist.add_instance(
+            "DFF", {"D": x_q, "Q": hist_q}, name=f"fm_histdff_{label}",
+            init=x.init,
+        )
+        previous = hist_q
+        current = x_q
+    else:
+        previous = x_q          # X(t)
+        current = x.pins["D"]   # X(t+1)
+
+    trigger = netlist.add_net(f"fm_trig_{label}")
+    if model.edge is EdgeQualifier.ANY:
+        # changed = previous XOR current
+        netlist.add_instance(
+            "XOR2", {"A": previous, "B": current, "Y": trigger},
+            name=f"fm_xor_{label}",
+        )
+    else:
+        inv = netlist.add_net(f"fm_inv_{label}")
+        if model.edge is EdgeQualifier.RISING:
+            # ~previous & current
+            netlist.add_instance(
+                "INV", {"A": previous, "Y": inv}, name=f"fm_invc_{label}"
+            )
+            netlist.add_instance(
+                "AND2", {"A": inv, "B": current, "Y": trigger},
+                name=f"fm_and_{label}",
+            )
+        else:
+            # previous & ~current
+            netlist.add_instance(
+                "INV", {"A": current, "Y": inv}, name=f"fm_invc_{label}"
+            )
+            netlist.add_instance(
+                "AND2", {"A": previous, "B": inv, "Y": trigger},
+                name=f"fm_and_{label}",
+            )
+    return trigger
+
+
+def _model_output(
+    netlist: Netlist,
+    model: FailureModel,
+    x: Instance,
+    original_d: Net,
+) -> Net:
+    """Build the failure model and return the corrupted D net for Y."""
+    c_net = _c_net(netlist, model)
+    if model.is_self_loop:
+        # Metastable: Y always samples C (§3.3.1 special case).
+        return c_net
+    trigger = _build_trigger(netlist, model, x)
+    out = netlist.add_net(f"fm_out_{model.label}")
+    # MUX2: S=1 selects B.  trigger -> C, else original D.
+    netlist.add_instance(
+        "MUX2",
+        {"A": original_d, "B": c_net, "S": trigger, "Y": out},
+        name=f"fm_mux_{model.label}",
+    )
+    return out
+
+
+@dataclass
+class FailingNetlist:
+    """A standalone circuit-level failure model (§3.3.2, output ❹)."""
+
+    netlist: Netlist
+    model: FailureModel
+
+    def to_verilog(self) -> str:
+        from ..netlist.verilog import netlist_to_verilog
+
+        return netlist_to_verilog(self.netlist)
+
+
+def make_failing_netlist(
+    netlist: Netlist, model: FailureModel
+) -> FailingNetlist:
+    """Clone ``netlist`` and wire the capture flop through the model.
+
+    For :class:`CMode.RANDOM`, the clone gains a 1-bit input port
+    ``fm_c`` that the simulator drives with a fresh random value each
+    cycle.
+    """
+    clone = netlist.clone(f"{netlist.name}__fail_{model.label}")
+    x = _find_dff(clone, model.start)
+    y = _find_dff(clone, model.end)
+    original_d = y.pins["D"]
+    corrupted = _model_output(clone, model, x, original_d)
+    clone.rewire_input(y, "D", corrupted)
+    clone.validate()
+    return FailingNetlist(netlist=clone, model=model)
+
+
+@dataclass
+class CoverInstrumentation:
+    """Shadow-replica instrumentation ready for the BMC (§3.3.2, ❺).
+
+    ``output_pairs`` lists (original, shadow) net names for every
+    output bit the corrupted flop can influence — the support of the
+    generated ``cover property``.
+    """
+
+    netlist: Netlist
+    model: FailureModel
+    output_pairs: List[Tuple[str, str]] = field(default_factory=list)
+    shadow_suffix: str = "__s"
+
+    def cover_property_text(self) -> str:
+        """Human-readable rendering of the SV cover property."""
+        terms = " || ".join(
+            f"{orig} != {shadow}" for orig, shadow in self.output_pairs
+        )
+        return f"cover property (@(posedge clk) {terms});"
+
+
+def instrument_for_cover(
+    netlist: Netlist, model: FailureModel, suffix: str = "__s"
+) -> CoverInstrumentation:
+    """Build the shadow replica + failure model on a clone of ``netlist``.
+
+    The replica copies every cell the capture flop Y can influence
+    (including Y itself); shadow cells read original nets at the cone
+    boundary.  Y's shadow samples the failure model's output instead of
+    the true D, so original and shadow outputs diverge exactly when the
+    modelled violation would corrupt an observable output.
+    """
+    clone = netlist.clone(f"{netlist.name}__cover_{model.label}")
+    x = _find_dff(clone, model.start)
+    y = _find_dff(clone, model.end)
+
+    cone = clone.fanout_cone(y.output_net)
+    cone.add(y)
+    cone_names = {inst.name for inst in cone}
+
+    # Shadow nets for every cone instance output.
+    shadow_net: Dict[str, Net] = {}
+    for inst in cone:
+        out_name = inst.output_net.name
+        shadow_net[out_name] = clone.add_net(out_name + suffix)
+
+    # Shadow instances: inputs use shadow nets when the driver is in
+    # the cone, the original nets otherwise.
+    for inst in sorted(cone, key=lambda i: i.name):
+        pins: Dict[str, Net] = {}
+        for pin_name in inst.ctype.inputs:
+            net = inst.pins[pin_name]
+            pins[pin_name] = shadow_net.get(net.name, net)
+        pins[inst.ctype.output] = shadow_net[inst.output_net.name]
+        clone.add_instance(
+            inst.ctype.name, pins, name=inst.name + suffix, init=inst.init
+        )
+
+    # The failure model drives the shadow Y's D pin.
+    original_d = y.pins["D"]
+    corrupted = _model_output(clone, model, x, original_d)
+    shadow_y = clone.instances[y.name + suffix]
+    clone.rewire_input(shadow_y, "D", corrupted)
+
+    # Output pairs: every output-port bit whose driver lies in the cone
+    # (the driver's output net *is* the port net, so the shadow map is
+    # keyed directly by the port-net name).
+    unique_pairs: List[Tuple[str, str]] = []
+    for port in netlist.output_ports():
+        for net in port.nets:
+            clone_net = clone.nets[net.name]
+            if clone_net.driver is None:
+                continue
+            if clone_net.driver[0].name in cone_names:
+                unique_pairs.append((net.name, shadow_net[net.name].name))
+    if not unique_pairs:
+        raise InstrumentationError(
+            f"violation endpoint {model.end!r} cannot influence any "
+            "module output"
+        )
+    clone.validate()
+    return CoverInstrumentation(
+        netlist=clone,
+        model=model,
+        output_pairs=unique_pairs,
+        shadow_suffix=suffix,
+    )
+
+
+def _find_dff(netlist: Netlist, name: str) -> Instance:
+    try:
+        inst = netlist.instances[name]
+    except KeyError:
+        raise InstrumentationError(f"no instance named {name!r}") from None
+    if not inst.ctype.is_seq:
+        raise InstrumentationError(
+            f"{name!r} is a {inst.ctype.name}, not a flip-flop"
+        )
+    return inst

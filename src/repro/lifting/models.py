@@ -1,0 +1,107 @@
+"""Logical models for timing violations (§3.3.1).
+
+Formal tools reason in the logical domain only, so each timing violation
+is lowered to a logical misbehaviour at the capture flop Y of the
+violated path X ⇝ Y:
+
+* **Setup** (Eq. 2) — Y may sample a wrong constant C whenever the
+  launching value *changed* this cycle::
+
+      Y(t+1) = Y_original(t+1)  if X(t) == X(t-1)
+               C                otherwise
+
+* **Hold** (Eq. 3) — Y may sample C whenever the launching value is
+  *about to change*::
+
+      Y(t+1) = Y_original(t+1)  if X(t) == X(t+1)
+               C                otherwise
+
+* **Self-loop** — a path from a flop to itself leaves Y metastable, so
+  it is modelled as always sampling C.
+
+C is held to a constant (0 or 1) per verification round to keep the
+search space small; a third mode lets C float freely each cycle
+("random") for failing-netlist simulation.  The §3.3.4 mitigation adds
+edge-qualified variants that trigger only on a rising or falling X,
+removing dependence on the formal tool's assumed reset values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ViolationKind(Enum):
+    SETUP = "setup"
+    HOLD = "hold"
+
+
+class CMode(Enum):
+    """How the wrongly-sampled value C behaves."""
+
+    ZERO = "0"
+    ONE = "1"
+    RANDOM = "R"  # free input pin, driven per-cycle by the simulator
+
+
+class EdgeQualifier(Enum):
+    """Which transition of X activates the failure (§3.3.4).
+
+    ``ANY`` is the base Eq. 2/3 model; ``RISING``/``FALLING`` are the
+    mitigation variants that avoid initial-value dependence.
+    """
+
+    ANY = "any"
+    RISING = "rising"
+    FALLING = "falling"
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """A fully-specified failure model for one violating path.
+
+    Attributes:
+        start: Launch DFF instance name (X).
+        end: Capture DFF instance name (Y).
+        kind: Setup or hold violation.
+        c_mode: Behaviour of the wrong value C.
+        edge: Activation qualifier.
+    """
+
+    start: str
+    end: str
+    kind: ViolationKind
+    c_mode: CMode
+    edge: EdgeQualifier = EdgeQualifier.ANY
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.start == self.end
+
+    @property
+    def label(self) -> str:
+        parts = [
+            self.kind.value,
+            self.start,
+            "to",
+            self.end,
+            f"c{self.c_mode.value}",
+        ]
+        if self.edge is not EdgeQualifier.ANY:
+            parts.append(self.edge.value)
+        return "_".join(parts)
+
+    def variants(self, mitigation: bool) -> list["FailureModel"]:
+        """The model set Vega verifies for this path and C.
+
+        Without mitigation: just this (edge=ANY) model.  With it: the
+        rising and falling edge-qualified versions (§3.3.4), doubling
+        the per-pair test count from ≤2 to ≤4 across both C values.
+        """
+        if not mitigation or self.is_self_loop:
+            return [self]
+        return [
+            FailureModel(self.start, self.end, self.kind, self.c_mode, edge)
+            for edge in (EdgeQualifier.RISING, EdgeQualifier.FALLING)
+        ]

@@ -1,0 +1,24 @@
+"""Gate-level netlist substrate: cells, netlist graph, Verilog I/O."""
+
+from .cells import CellLibrary, CellType, VEGA28, make_vega28_library
+from .netlist import Instance, Net, Netlist, NetlistError, Port
+from .opt import NetlistOptimizer, optimize
+from .parser import VerilogParseError, parse_verilog
+from .verilog import netlist_to_verilog
+
+__all__ = [
+    "CellLibrary",
+    "CellType",
+    "VEGA28",
+    "make_vega28_library",
+    "Instance",
+    "Net",
+    "Netlist",
+    "NetlistError",
+    "Port",
+    "NetlistOptimizer",
+    "optimize",
+    "VerilogParseError",
+    "parse_verilog",
+    "netlist_to_verilog",
+]

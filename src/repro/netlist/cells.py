@@ -1,0 +1,220 @@
+"""Standard-cell definitions for the synthetic "vega28" library.
+
+The paper synthesizes the CV32E40P ALU/FPU into a real 28 nm foundry
+library.  We cannot ship foundry data, so this module defines a synthetic
+library whose cells carry every attribute Vega's workflow consumes:
+
+* a boolean function (used by the gate-level simulator and the CNF
+  encoder),
+* base best/worst-case propagation delays in nanoseconds,
+* sequential constraints (setup/hold, clock-to-Q) for flip-flops, and
+* a BTI stress model: which logic state at the cell output keeps the
+  vulnerable p-type pull-up transistors under static stress.
+
+Delay values are loosely modelled on published 28 nm standard-cell data
+(tens of picoseconds per gate) and are deliberately conservative; the
+workflow only depends on their relative structure, not absolute accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+# Evaluation functions operate on arbitrary-width Python ints so that one
+# call simulates W stimulus vectors in parallel (bit i of every operand
+# belongs to vector i).  ``mask`` holds W one-bits and bounds inversions.
+EvalFn = Callable[[Sequence[int], int], int]
+
+
+def _ev_buf(i: Sequence[int], mask: int) -> int:
+    return i[0] & mask
+
+
+def _ev_inv(i: Sequence[int], mask: int) -> int:
+    return ~i[0] & mask
+
+
+def _ev_and2(i: Sequence[int], mask: int) -> int:
+    return i[0] & i[1] & mask
+
+
+def _ev_or2(i: Sequence[int], mask: int) -> int:
+    return (i[0] | i[1]) & mask
+
+
+def _ev_nand2(i: Sequence[int], mask: int) -> int:
+    return ~(i[0] & i[1]) & mask
+
+
+def _ev_nor2(i: Sequence[int], mask: int) -> int:
+    return ~(i[0] | i[1]) & mask
+
+
+def _ev_xor2(i: Sequence[int], mask: int) -> int:
+    return (i[0] ^ i[1]) & mask
+
+
+def _ev_xnor2(i: Sequence[int], mask: int) -> int:
+    return ~(i[0] ^ i[1]) & mask
+
+
+def _ev_mux2(i: Sequence[int], mask: int) -> int:
+    # Inputs are ordered (A, B, S); S selects B when 1, A when 0.
+    a, b, s = i
+    return ((a & ~s) | (b & s)) & mask
+
+
+def _ev_tie0(i: Sequence[int], mask: int) -> int:
+    return 0
+
+
+def _ev_tie1(i: Sequence[int], mask: int) -> int:
+    return mask
+
+
+@dataclass(frozen=True)
+class CellType:
+    """Immutable description of one library cell.
+
+    Attributes:
+        name: Library cell name, e.g. ``"XOR2"``.
+        inputs: Ordered input pin names.
+        output: Output pin name (``"Y"`` for gates, ``"Q"`` for flops).
+        eval_fn: Bit-parallel boolean function of the input pins.  For
+            sequential cells this is the *D-to-Q transfer*, applied at a
+            clock edge by the simulator.
+        tmin: Best-case propagation delay (ns).  For flops this is the
+            minimum clock-to-Q delay.
+        tmax: Worst-case propagation delay (ns); maximum clock-to-Q for
+            flops.
+        area: Relative cell area, used only for reporting.
+        is_seq: True for flip-flops.
+        is_clock: True for cells legal on the clock network.
+        setup: Setup-time requirement at the D pin (ns); flops only.
+        hold: Hold-time requirement at the D pin (ns); flops only.
+        stress_state: Output logic state under which the cell's PMOS
+            pull-up network suffers static BTI stress.  Per the paper
+            (§2.3.1), gates idling at logic "0" age fastest, so this is 0
+            for every vega28 cell; the field exists so that alternative
+            libraries can model NMOS-dominant cells.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    eval_fn: EvalFn
+    tmin: float
+    tmax: float
+    area: float = 1.0
+    is_seq: bool = False
+    is_clock: bool = False
+    setup: float = 0.0
+    hold: float = 0.0
+    stress_state: int = 0
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, input_values: Sequence[int], mask: int = 1) -> int:
+        """Evaluate the cell function on bit-packed input vectors."""
+        return self.eval_fn(input_values, mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CellType({self.name})"
+
+
+@dataclass
+class CellLibrary:
+    """A named collection of :class:`CellType` objects.
+
+    The library also records the reference supply voltage and nominal
+    threshold voltage used by the aging characterizer
+    (:mod:`repro.aging.charlib`) when converting BTI-induced threshold
+    shifts into delay degradation.
+    """
+
+    name: str
+    cells: Dict[str, CellType] = field(default_factory=dict)
+    vdd: float = 0.9
+    vth0: float = 0.35
+    alpha: float = 1.3
+
+    def add(self, cell: CellType) -> None:
+        if cell.name in self.cells:
+            raise ValueError(f"duplicate cell type {cell.name!r}")
+        self.cells[cell.name] = cell
+
+    def __getitem__(self, name: str) -> CellType:
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise KeyError(
+                f"cell {name!r} not in library {self.name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.cells
+
+    def __iter__(self):
+        return iter(self.cells.values())
+
+    def combinational(self) -> Tuple[CellType, ...]:
+        return tuple(c for c in self if not c.is_seq)
+
+    def sequential(self) -> Tuple[CellType, ...]:
+        return tuple(c for c in self if c.is_seq)
+
+
+def make_vega28_library() -> CellLibrary:
+    """Build the synthetic 28 nm library used throughout the repo.
+
+    Delays are in nanoseconds.  The set of cells intentionally matches
+    what :mod:`repro.rtl.synth` emits plus the clock-network buffer.
+    """
+    lib = CellLibrary(name="vega28", vdd=0.9, vth0=0.35, alpha=1.3)
+    lib.add(CellType("BUF", ("A",), "Y", _ev_buf, 0.014, 0.030, area=1.0))
+    lib.add(CellType("INV", ("A",), "Y", _ev_inv, 0.008, 0.020, area=0.7))
+    lib.add(CellType("AND2", ("A", "B"), "Y", _ev_and2, 0.018, 0.038, area=1.3))
+    lib.add(CellType("OR2", ("A", "B"), "Y", _ev_or2, 0.020, 0.040, area=1.3))
+    lib.add(CellType("NAND2", ("A", "B"), "Y", _ev_nand2, 0.012, 0.026, area=1.0))
+    lib.add(CellType("NOR2", ("A", "B"), "Y", _ev_nor2, 0.014, 0.030, area=1.0))
+    lib.add(CellType("XOR2", ("A", "B"), "Y", _ev_xor2, 0.028, 0.055, area=2.1))
+    lib.add(CellType("XNOR2", ("A", "B"), "Y", _ev_xnor2, 0.028, 0.057, area=2.1))
+    lib.add(
+        CellType("MUX2", ("A", "B", "S"), "Y", _ev_mux2, 0.026, 0.052, area=2.3)
+    )
+    lib.add(CellType("TIE0", (), "Y", _ev_tie0, 0.0, 0.0, area=0.3))
+    lib.add(CellType("TIE1", (), "Y", _ev_tie1, 0.0, 0.0, area=0.3))
+    lib.add(
+        CellType(
+            "DFF",
+            ("D",),
+            "Q",
+            _ev_buf,
+            tmin=0.038,
+            tmax=0.075,
+            area=4.5,
+            is_seq=True,
+            setup=0.045,
+            hold=0.033,
+        )
+    )
+    lib.add(
+        CellType(
+            "CLKBUF",
+            ("A",),
+            "Y",
+            _ev_buf,
+            0.016,
+            0.032,
+            area=1.2,
+            is_clock=True,
+        )
+    )
+    return lib
+
+
+# A process-wide default instance; cheap to build but convenient to share.
+VEGA28 = make_vega28_library()

@@ -1,0 +1,218 @@
+"""Netlist optimization passes (the synthesis flow's cleanup stage).
+
+Real synthesis interleaves technology mapping with logic cleanup; this
+module provides the classic post-mapping passes:
+
+* **constant propagation** — gates fed by TIE cells collapse to
+  constants or wires (a TIE0 into an AND2 kills the gate);
+* **buffer collapsing** — BUF chains forward their source;
+* **dead-cell elimination** — cells whose outputs reach no output port
+  and no flop are removed.
+
+Passes preserve observable behaviour; the test suite checks this both
+by randomized co-simulation and *formally* via
+:mod:`repro.formal.equiv`'s SAT-based equivalence checker.
+
+Note: failure-model instrumentation deliberately feeds un-optimized
+netlists to the BMC — a TIE-driven failure-model mux must survive — so
+optimization is an explicit, opt-in step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from .netlist import Instance, Net, Netlist
+
+#: Constant-input simplifications: (cell, pin, value) -> action.
+#: Actions: ("const", v) output becomes constant; ("wire", other_pin)
+#: output follows the remaining input; ("inv", other_pin) inverted.
+_CONST_RULES = {
+    ("AND2", 0): ("const", 0),
+    ("AND2", 1): ("wire",),
+    ("OR2", 0): ("wire",),
+    ("OR2", 1): ("const", 1),
+    ("NAND2", 0): ("const", 1),
+    ("NAND2", 1): ("inv",),
+    ("NOR2", 0): ("inv",),
+    ("NOR2", 1): ("const", 0),
+    ("XOR2", 0): ("wire",),
+    ("XOR2", 1): ("inv",),
+    ("XNOR2", 0): ("inv",),
+    ("XNOR2", 1): ("wire",),
+}
+
+
+class NetlistOptimizer:
+    """Iterates cleanup passes to a fixed point."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self.removed_cells = 0
+
+    # -- helpers ---------------------------------------------------------
+    def _constant_of(self, net: Net) -> Optional[int]:
+        if net.driver is None:
+            return None
+        name = net.driver[0].ctype.name
+        if name == "TIE0":
+            return 0
+        if name == "TIE1":
+            return 1
+        return None
+
+    def _tie_net(self, value: int) -> Net:
+        """A TIE cell's output net for ``value`` (created on demand)."""
+        for inst in self.netlist.instances.values():
+            if inst.ctype.name == f"TIE{value}":
+                return inst.output_net
+        net = self.netlist.add_net()
+        self.netlist.add_instance(f"TIE{value}", {"Y": net})
+        return net
+
+    def _replace_net(self, old: Net, new: Net) -> None:
+        """Repoint every load of ``old`` to ``new``."""
+        for inst, pin in list(old.loads):
+            self.netlist.rewire_input(inst, pin, new)
+
+    def _protected_nets(self) -> Set[str]:
+        return {
+            net.name
+            for port in self.netlist.ports.values()
+            for net in port.nets
+        }
+
+    # -- passes ------------------------------------------------------------
+    def propagate_constants(self) -> int:
+        """Fold gates with constant inputs; returns cells removed."""
+        protected = self._protected_nets()
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for inst in list(self.netlist.instances.values()):
+                if inst.ctype.is_seq or inst.ctype.name.startswith("TIE"):
+                    continue
+                out = inst.output_net
+                if out.name in protected:
+                    continue  # port nets keep their driver
+                replacement = self._fold(inst)
+                if replacement is None:
+                    continue
+                self.netlist.remove_instance(inst.name)
+                self._replace_net(out, replacement)
+                removed += 1
+                changed = True
+        self.removed_cells += removed
+        return removed
+
+    def _fold(self, inst: Instance) -> Optional[Net]:
+        """The net that can replace ``inst``'s output, if any."""
+        name = inst.ctype.name
+        ins = inst.input_nets()
+        consts = [self._constant_of(n) for n in ins]
+        if name in ("BUF",):
+            return ins[0]
+        if name == "INV" and consts[0] is not None:
+            return self._tie_net(1 - consts[0])
+        if name == "MUX2":
+            a, b, s = ins
+            s_const = self._constant_of(s)
+            if s_const is not None:
+                return b if s_const else a
+            if a is b:
+                return a
+            return None
+        if name in ("AND2", "OR2", "XOR2", "NAND2", "NOR2", "XNOR2"):
+            for position in (0, 1):
+                value = consts[position]
+                if value is None:
+                    continue
+                other = ins[1 - position]
+                action = _CONST_RULES[(name, value)]
+                if action[0] == "const":
+                    return self._tie_net(action[1])
+                if action[0] == "wire":
+                    return other
+                # "inv": materialize an inverter on the other input.
+                inv_out = self.netlist.add_net()
+                self.netlist.add_instance(
+                    "INV", {"A": other, "Y": inv_out}
+                )
+                return inv_out
+        return None
+
+    def collapse_buffers(self) -> int:
+        """Forward BUF inputs to the BUF's loads; returns cells removed."""
+        protected = self._protected_nets()
+        removed = 0
+        for inst in list(self.netlist.instances.values()):
+            if inst.ctype.name not in ("BUF", "CLKBUF"):
+                continue
+            out = inst.output_net
+            if out.name in protected:
+                continue
+            source = inst.pins["A"]
+            self.netlist.remove_instance(inst.name)
+            self._replace_net(out, source)
+            removed += 1
+        self.removed_cells += removed
+        return removed
+
+    def eliminate_dead_cells(self) -> int:
+        """Remove cells that cannot influence any output or flop."""
+        live: Set[str] = set()
+        frontier = []
+        for port in self.netlist.output_ports():
+            frontier.extend(port.nets)
+        for dff in self.netlist.dffs():
+            live.add(dff.name)
+            frontier.append(dff.pins["D"])
+        seen_nets: Set[str] = set()
+        while frontier:
+            net = frontier.pop()
+            if net.name in seen_nets or net.driver is None:
+                continue
+            seen_nets.add(net.name)
+            inst = net.driver[0]
+            if inst.name in live:
+                continue
+            live.add(inst.name)
+            frontier.extend(inst.input_nets())
+        removed = 0
+        for inst in list(self.netlist.instances.values()):
+            if inst.name not in live:
+                self.netlist.remove_instance(inst.name)
+                removed += 1
+        # Drop now-disconnected internal nets.
+        port_nets = self._protected_nets()
+        for name, net in list(self.netlist.nets.items()):
+            if (
+                net.driver is None
+                and not net.loads
+                and not net.is_input
+                and name not in port_nets
+            ):
+                del self.netlist.nets[name]
+        self.removed_cells += removed
+        return removed
+
+    def run(self, max_rounds: int = 10) -> int:
+        """All passes to a fixed point; returns total cells removed."""
+        total = 0
+        for _ in range(max_rounds):
+            delta = (
+                self.propagate_constants()
+                + self.collapse_buffers()
+                + self.eliminate_dead_cells()
+            )
+            total += delta
+            if delta == 0:
+                break
+        self.netlist.validate()
+        return total
+
+
+def optimize(netlist: Netlist) -> int:
+    """In-place optimization; returns the number of cells removed."""
+    return NetlistOptimizer(netlist).run()

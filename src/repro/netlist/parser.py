@@ -1,0 +1,117 @@
+"""Parser for the structural-Verilog subset written by
+:func:`repro.netlist.verilog.netlist_to_verilog`.
+
+Round-tripping netlists through text is used by the failing-netlist
+artifact flow and by tests: a netlist exported to Verilog can be read
+back and simulated to confirm that the emitted file captures the same
+behaviour.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .cells import CellLibrary, VEGA28
+from .netlist import Net, Netlist, NetlistError
+
+
+class VerilogParseError(Exception):
+    """Raised on input outside the supported structural subset."""
+
+
+_COMMENT_RE = re.compile(r"//[^\n]*")
+_MODULE_RE = re.compile(r"module\s+([A-Za-z_][\w$]*)\s*\((.*?)\);(.*?)endmodule", re.S)
+_PORT_RE = re.compile(
+    r"(input|output)\s*(?:\[\s*(\d+)\s*:\s*(\d+)\s*\])?\s*([A-Za-z_][\w$]*)"
+)
+_WIRE_RE = re.compile(r"wire\s+(.+?);")
+_INST_RE = re.compile(r"([A-Z][A-Z0-9]*)\s+(\\?[^\s(]+)\s*\((.*?)\)\s*;", re.S)
+_CONN_RE = re.compile(r"\.(\w+)\(\s*([^)]*?)\s*\)")
+
+_KNOWN_GATE_MODULES = {
+    "BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2",
+    "MUX2", "TIE0", "TIE1", "CLKBUF", "DFF",
+}
+
+
+def _unescape(name: str) -> str:
+    return name[1:].rstrip() if name.startswith("\\") else name
+
+
+def _split_decls(text: str) -> List[str]:
+    return [t.strip() for t in text.split(",") if t.strip()]
+
+
+def parse_verilog(
+    source: str,
+    library: Optional[CellLibrary] = None,
+    top: Optional[str] = None,
+) -> Netlist:
+    """Parse structural Verilog back into a :class:`Netlist`.
+
+    Gate-model modules from the writer's preamble are skipped; the first
+    non-gate module (or ``top`` if given) becomes the netlist.
+    """
+    library = library or VEGA28
+    source = _COMMENT_RE.sub("", source)
+    target: Optional[Tuple[str, str, str]] = None
+    for match in _MODULE_RE.finditer(source):
+        name, ports_text, body = match.groups()
+        if name in _KNOWN_GATE_MODULES:
+            continue
+        if top is not None and name != top:
+            continue
+        target = (name, ports_text, body)
+        break
+    if target is None:
+        raise VerilogParseError("no user module found")
+    name, ports_text, body = target
+
+    netlist = Netlist(name, library)
+    bus_bits: Dict[str, List[Net]] = {}
+
+    for decl in _split_decls(ports_text):
+        port_match = _PORT_RE.match(decl)
+        if not port_match:
+            raise VerilogParseError(f"unsupported port declaration {decl!r}")
+        direction, msb, lsb, port_name = port_match.groups()
+        if port_name == "clk":
+            continue  # implicit module clock; not a data port
+        width = 1 if msb is None else abs(int(msb) - int(lsb)) + 1
+        if direction == "input":
+            port = netlist.add_input_port(port_name, width)
+        else:
+            port = netlist.add_output_port(port_name, width)
+        bus_bits[port_name] = port.nets
+
+    for wire_match in _WIRE_RE.finditer(body):
+        for wire_name in _split_decls(wire_match.group(1)):
+            netlist.add_net(_unescape(wire_name))
+
+    def resolve(ref: str) -> Net:
+        ref = ref.strip()
+        bit_match = re.match(r"([A-Za-z_][\w$]*)\[(\d+)\]$", ref)
+        if bit_match and bit_match.group(1) in bus_bits:
+            return bus_bits[bit_match.group(1)][int(bit_match.group(2))]
+        plain = _unescape(ref)
+        if plain in netlist.nets:
+            return netlist.nets[plain]
+        raise VerilogParseError(f"unknown net reference {ref!r}")
+
+    for inst_match in _INST_RE.finditer(body):
+        ctype_name, inst_name, conns_text = inst_match.groups()
+        if ctype_name not in library:
+            raise VerilogParseError(f"unknown cell type {ctype_name!r}")
+        pins: Dict[str, Net] = {}
+        for pin, ref in _CONN_RE.findall(conns_text):
+            if pin == "CLK":
+                continue
+            pins[pin] = resolve(ref)
+        try:
+            netlist.add_instance(ctype_name, pins, name=_unescape(inst_name))
+        except NetlistError as exc:
+            raise VerilogParseError(str(exc)) from exc
+
+    netlist.validate()
+    return netlist

@@ -1,0 +1,104 @@
+"""Structural-Verilog emission for netlists.
+
+Failure-model instrumentation (§3.3.2) can export a *failing netlist*: a
+standalone Verilog file describing the module's post-aging behaviour,
+usable by external simulators or FPGA flows.  This writer produces that
+artifact.  Cell instances are emitted against behavioural gate models so
+the file is self-contained (a small gate-model preamble is included).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .netlist import Netlist
+
+_GATE_MODELS = """\
+// Behavioural models for the vega28 cell library.
+module BUF(input A, output Y);    assign Y = A;        endmodule
+module INV(input A, output Y);    assign Y = ~A;       endmodule
+module AND2(input A, B, output Y);  assign Y = A & B;    endmodule
+module OR2(input A, B, output Y);   assign Y = A | B;    endmodule
+module NAND2(input A, B, output Y); assign Y = ~(A & B); endmodule
+module NOR2(input A, B, output Y);  assign Y = ~(A | B); endmodule
+module XOR2(input A, B, output Y);  assign Y = A ^ B;    endmodule
+module XNOR2(input A, B, output Y); assign Y = ~(A ^ B); endmodule
+module MUX2(input A, B, S, output Y); assign Y = S ? B : A; endmodule
+module TIE0(output Y); assign Y = 1'b0; endmodule
+module TIE1(output Y); assign Y = 1'b1; endmodule
+module CLKBUF(input A, output Y); assign Y = A; endmodule
+module DFF(input D, CLK, output reg Q);
+  always @(posedge CLK) Q <= D;
+endmodule
+"""
+
+_ID_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def _escape(name: str) -> str:
+    """Return a Verilog-legal identifier for an internal net/instance name.
+
+    Bus bit names like ``a[3]`` stay as-is when used through their port
+    declaration; standalone odd names are escaped with the Verilog
+    ``\\name `` syntax.
+    """
+    if _ID_RE.match(name):
+        return name
+    return "\\" + name + " "
+
+
+def _net_ref(name: str, bus_bits: Dict[str, str]) -> str:
+    """Map a scalar net name to its Verilog reference."""
+    return bus_bits.get(name) or _escape(name)
+
+
+def netlist_to_verilog(netlist: Netlist, include_gate_models: bool = True) -> str:
+    """Serialize ``netlist`` as a structural Verilog module.
+
+    The module gains an explicit ``clk`` input wired to every DFF, making
+    the emitted file directly simulable.
+    """
+    lines: List[str] = []
+    if include_gate_models:
+        lines.append(_GATE_MODELS)
+
+    bus_bits: Dict[str, str] = {}
+    port_decls: List[str] = ["input clk"]
+    port_names: List[str] = ["clk"]
+    for port in netlist.ports.values():
+        direction = "input" if port.direction == "input" else "output"
+        if port.width == 1:
+            port_decls.append(f"{direction} {port.name}")
+        else:
+            port_decls.append(
+                f"{direction} [{port.width - 1}:0] {port.name}"
+            )
+            for i, net in enumerate(port.nets):
+                bus_bits[net.name] = f"{port.name}[{i}]"
+        port_names.append(port.name)
+
+    lines.append(f"module {netlist.name}(")
+    lines.append("  " + ",\n  ".join(port_decls))
+    lines.append(");")
+
+    port_net_names = {
+        net.name for port in netlist.ports.values() for net in port.nets
+    }
+    for net in netlist.nets.values():
+        if net.name in port_net_names:
+            continue
+        lines.append(f"  wire {_escape(net.name)};")
+
+    for inst in sorted(netlist.instances.values(), key=lambda i: i.name):
+        conns = []
+        for pin, net in inst.pins.items():
+            conns.append(f".{pin}({_net_ref(net.name, bus_bits)})")
+        if inst.ctype.is_seq:
+            conns.append(".CLK(clk)")
+        lines.append(
+            f"  {inst.ctype.name} {_escape(inst.name)} ({', '.join(sorted(conns))});"
+        )
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

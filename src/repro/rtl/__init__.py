@@ -1,0 +1,25 @@
+"""RTL construction DSL and synthesis to the vega28 cell library."""
+
+from .signal import (
+    Bit,
+    Module,
+    Register,
+    RtlError,
+    Signal,
+    leading_zero_count,
+    mux,
+    mux_by_index,
+)
+from .synth import synthesize
+
+__all__ = [
+    "Bit",
+    "Module",
+    "Register",
+    "RtlError",
+    "Signal",
+    "leading_zero_count",
+    "mux",
+    "mux_by_index",
+    "synthesize",
+]

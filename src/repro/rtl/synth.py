@@ -1,0 +1,192 @@
+"""Technology mapping from the RTL bit DAG onto the vega28 library.
+
+This is the "Genus / Design Compiler" stage of the paper's flow: it turns
+a :class:`repro.rtl.signal.Module` into a :class:`repro.netlist.Netlist`
+of standard cells.  The mapper is deliberately simple — one cell per DAG
+node — with a peephole pass that fuses inverters into NAND2/NOR2/XNOR2
+where the inverted gate has a single use, exercising the full library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..netlist.cells import CellLibrary, VEGA28
+from ..netlist.netlist import Net, Netlist
+from .signal import Bit, Module, RtlError
+
+_OP_CELL = {"and": "AND2", "or": "OR2", "xor": "XOR2", "mux": "MUX2"}
+_FUSED_CELL = {"and": "NAND2", "or": "NOR2", "xor": "XNOR2"}
+
+
+def _count_uses(module: Module) -> Dict[int, int]:
+    """Number of parents per DAG node, over everything reachable."""
+    uses: Dict[int, int] = {}
+    visited: set = set()
+    stack: list = []
+    for sig in module.outputs.values():
+        stack.extend(sig.bits)
+    for reg in module.registers.values():
+        if reg.next is not None:
+            stack.extend(reg.next.bits)
+    while stack:
+        bit = stack.pop()
+        if id(bit) in visited:
+            continue
+        visited.add(id(bit))
+        for arg in bit.args:
+            uses[id(arg)] = uses.get(id(arg), 0) + 1
+            stack.append(arg)
+    return uses
+
+
+def synthesize(
+    module: Module,
+    library: Optional[CellLibrary] = None,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Map ``module`` to a gate-level netlist.
+
+    Every input becomes an input port, every register a bank of DFFs,
+    every output an output port (buffered so the port net has exactly
+    one cell driver, as a place-and-route flow would guarantee).
+    """
+    library = library or VEGA28
+    module.finalize()
+    netlist = Netlist(name or module.name, library)
+    uses = _count_uses(module)
+
+    # Leaf nets: inputs and register outputs.
+    bit_net: Dict[int, Net] = {}
+    for in_name, sig in module.inputs.items():
+        port = netlist.add_input_port(in_name, sig.width)
+        for i, bit in enumerate(sig.bits):
+            bit_net[id(bit)] = port.nets[i]
+
+    dff_of: Dict[Tuple[str, int], object] = {}
+    for reg in module.registers.values():
+        for i in range(reg.width):
+            q_net = netlist.add_net(f"{reg.name}_q[{i}]")
+            # D pin is temporarily tied to q (self-loop is illegal for
+            # combinational cells only); rewired after gate mapping.
+            inst = netlist.add_instance(
+                "DFF",
+                {"D": q_net, "Q": q_net},
+                name=f"{reg.name}_r{i}",
+                init=(reg.init >> i) & 1,
+            )
+            # Undo the bogus self-load bookkeeping; rewire_input will
+            # attach the real D source later.
+            q_net.loads.clear()
+            inst.pins["D"] = q_net
+            q_net.loads.append((inst, "D"))
+            dff_of[(reg.name, i)] = inst
+            bit = reg.q.bits[i]
+            bit_net[id(bit)] = q_net
+
+    tie_cache: Dict[int, Net] = {}
+
+    def tie(value: int) -> Net:
+        net = tie_cache.get(value)
+        if net is None:
+            net = netlist.add_net(f"tie{value}")
+            netlist.add_instance(
+                f"TIE{value}", {"Y": net}, name=f"u_tie{value}"
+            )
+            tie_cache[value] = net
+        return net
+
+    def lower(bit: Bit) -> Net:
+        """Emit gates for ``bit`` (iteratively, post-order) and return its net."""
+        if id(bit) in bit_net:
+            return bit_net[id(bit)]
+        stack = [bit]
+        while stack:
+            cur = stack[-1]
+            if id(cur) in bit_net:
+                stack.pop()
+                continue
+            if cur.op == "const":
+                bit_net[id(cur)] = tie(cur.tag)
+                stack.pop()
+                continue
+            # Peephole: NOT over a single-use and/or/xor fuses into the
+            # inverting cell.
+            if (
+                cur.op == "not"
+                and cur.args[0].op in _FUSED_CELL
+                and uses.get(id(cur.args[0]), 0) == 1
+            ):
+                inner = cur.args[0]
+                pend = [a for a in inner.args if id(a) not in bit_net]
+                if pend:
+                    stack.extend(pend)
+                    continue
+                out = netlist.add_net()
+                netlist.add_instance(
+                    _FUSED_CELL[inner.op],
+                    {
+                        "A": bit_net[id(inner.args[0])],
+                        "B": bit_net[id(inner.args[1])],
+                        "Y": out,
+                    },
+                )
+                bit_net[id(cur)] = out
+                stack.pop()
+                continue
+            pend = [a for a in cur.args if id(a) not in bit_net]
+            if pend:
+                stack.extend(pend)
+                continue
+            out = netlist.add_net()
+            if cur.op == "not":
+                netlist.add_instance(
+                    "INV", {"A": bit_net[id(cur.args[0])], "Y": out}
+                )
+            elif cur.op == "mux":
+                a, b, s = cur.args
+                netlist.add_instance(
+                    "MUX2",
+                    {
+                        "A": bit_net[id(a)],
+                        "B": bit_net[id(b)],
+                        "S": bit_net[id(s)],
+                        "Y": out,
+                    },
+                )
+            elif cur.op in _OP_CELL:
+                netlist.add_instance(
+                    _OP_CELL[cur.op],
+                    {
+                        "A": bit_net[id(cur.args[0])],
+                        "B": bit_net[id(cur.args[1])],
+                        "Y": out,
+                    },
+                )
+            else:  # pragma: no cover - leaves handled above
+                raise RtlError(f"cannot map op {cur.op!r}")
+            bit_net[id(cur)] = out
+            stack.pop()
+        return bit_net[id(bit)]
+
+    # Register next-state logic.
+    for reg in module.registers.values():
+        assert reg.next is not None  # finalize() checked
+        for i, bit in enumerate(reg.next.bits):
+            src = lower(bit)
+            inst = dff_of[(reg.name, i)]
+            netlist.rewire_input(inst, "D", src)
+
+    # Output ports, buffered.
+    for out_name, sig in module.outputs.items():
+        port = netlist.add_output_port(out_name, sig.width)
+        for i, bit in enumerate(sig.bits):
+            src = lower(bit)
+            netlist.add_instance(
+                "BUF",
+                {"A": src, "Y": port.nets[i]},
+                name=f"obuf_{out_name}_{i}",
+            )
+
+    netlist.validate()
+    return netlist

@@ -1,0 +1,247 @@
+"""Compiled, bit-parallel gate-level simulator.
+
+This is the repo's stand-in for Verilator: it evaluates a synthesized
+:class:`~repro.netlist.Netlist` cycle by cycle.  Two tricks keep pure
+Python fast enough for whole-workload signal-probability profiling:
+
+* **Compilation** — the levelized netlist is translated once into a
+  Python function (one local assignment per gate) and ``exec``'d, so the
+  per-cycle cost is straight-line bytecode, not graph interpretation.
+* **Bit-parallelism** — net values are arbitrary-width Python ints; bit
+  ``i`` of every value belongs to independent stimulus vector ``i``.
+  One call to :meth:`GateSimulator.step` therefore simulates up to
+  thousands of input vectors at once, which is how SP profiling over a
+  long operand stream stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from ..netlist.netlist import Instance, Net, Netlist
+
+_GATE_EXPR = {
+    "BUF": "{a}",
+    "CLKBUF": "{a}",
+    "INV": "(~{a} & mask)",
+    "AND2": "({a} & {b})",
+    "OR2": "({a} | {b})",
+    "NAND2": "(~({a} & {b}) & mask)",
+    "NOR2": "(~({a} | {b}) & mask)",
+    "XOR2": "({a} ^ {b})",
+    "XNOR2": "(~({a} ^ {b}) & mask)",
+    "MUX2": "((({a}) & ~{s} | ({b}) & {s}) & mask)",
+    "TIE0": "0",
+    "TIE1": "mask",
+}
+
+
+class SimulationError(Exception):
+    """Raised for bad stimulus (unknown port, value overflow)."""
+
+
+def pack_vectors(values: Sequence[int], width: int) -> List[int]:
+    """Transpose per-vector port values into bit-plane masks.
+
+    ``values`` holds one integer per stimulus vector; the result holds
+    one mask per bit position, where bit ``v`` of mask ``i`` is bit ``i``
+    of ``values[v]``.
+    """
+    planes = [0] * width
+    for vec_index, value in enumerate(values):
+        for bit_index in range(width):
+            if (value >> bit_index) & 1:
+                planes[bit_index] |= 1 << vec_index
+    return planes
+
+
+def unpack_vectors(planes: Sequence[int], count: int) -> List[int]:
+    """Inverse of :func:`pack_vectors` for ``count`` stimulus vectors."""
+    values = [0] * count
+    for bit_index, plane in enumerate(planes):
+        rest = plane
+        while rest:
+            low = rest & -rest
+            vec = low.bit_length() - 1
+            if vec < count:
+                values[vec] |= 1 << bit_index
+            rest ^= low
+    return values
+
+
+class GateSimulator:
+    """Cycle-based two-state simulator for a single-clock netlist.
+
+    Outputs are combinationally visible within the cycle (before the
+    clock edge); :meth:`step` then advances every DFF.
+    """
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._net_index: Dict[str, int] = {
+            name: i for i, name in enumerate(netlist.nets)
+        }
+        self._net_names: List[str] = list(netlist.nets)
+        self._dffs: List[Instance] = netlist.dffs()
+        self._dff_d_index: List[int] = [
+            self._net_index[d.pins["D"].name] for d in self._dffs
+        ]
+        self._dff_q_index: List[int] = [
+            self._net_index[d.output_net.name] for d in self._dffs
+        ]
+        self._input_nets: List[Net] = [
+            net
+            for port in netlist.input_ports()
+            for net in port.nets
+        ]
+        self._input_index: List[int] = [
+            self._net_index[n.name] for n in self._input_nets
+        ]
+        self._eval = self._compile()
+        self.state: List[int] = [0] * len(self._dffs)
+        self.values: List[int] = [0] * len(self._net_names)
+        self.cycle_count = 0
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def _compile(self):
+        """Build the straight-line evaluation function."""
+        order = self.netlist.levelize()
+        lines = ["def _cycle(vals, mask):"]
+        # Load sources (inputs + DFF Q) from the shared value array.
+        loaded = set(self._input_index) | set(self._dff_q_index)
+        for idx in sorted(loaded):
+            lines.append(f"    v{idx} = vals[{idx}]")
+        for inst in order:
+            out_idx = self._net_index[inst.output_net.name]
+            template = _GATE_EXPR.get(inst.ctype.name)
+            if template is None:
+                raise SimulationError(
+                    f"no simulation model for cell {inst.ctype.name}"
+                )
+            pins = {
+                pin.lower(): f"v{self._net_index[inst.pins[pin].name]}"
+                for pin in inst.ctype.inputs
+            }
+            expr = template.format(**pins)
+            lines.append(f"    v{out_idx} = {expr}")
+            lines.append(f"    vals[{out_idx}] = v{out_idx}")
+        lines.append("    return vals")
+        source = "\n".join(lines)
+        namespace: Dict[str, object] = {}
+        exec(compile(source, f"<gatesim:{self.netlist.name}>", "exec"), namespace)
+        return namespace["_cycle"]
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Apply the reset state: every DFF returns to its init value.
+
+        In bit-parallel mode the init bit is broadcast to all vectors on
+        the next :meth:`step` via the mask.
+        """
+        self.state = [d.init for d in self._dffs]
+        self.cycle_count = 0
+
+    def _apply_inputs(self, inputs: Dict[str, int], mask: int) -> None:
+        consumed = set()
+        for port in self.netlist.input_ports():
+            if port.name not in inputs:
+                raise SimulationError(f"missing stimulus for port {port.name!r}")
+            value = inputs[port.name]
+            consumed.add(port.name)
+            for bit_index, net in enumerate(port.nets):
+                plane = (value >> bit_index) & 1
+                self.values[self._net_index[net.name]] = mask if plane else 0
+        extra = set(inputs) - consumed
+        if extra:
+            raise SimulationError(f"unknown input ports {sorted(extra)}")
+
+    def _apply_packed_inputs(
+        self, inputs: Dict[str, Sequence[int]], mask: int
+    ) -> None:
+        for port in self.netlist.input_ports():
+            planes = inputs.get(port.name)
+            if planes is None:
+                raise SimulationError(f"missing stimulus for port {port.name!r}")
+            if len(planes) != port.width:
+                raise SimulationError(
+                    f"port {port.name!r} needs {port.width} planes, "
+                    f"got {len(planes)}"
+                )
+            for bit_index, net in enumerate(port.nets):
+                self.values[self._net_index[net.name]] = planes[bit_index] & mask
+
+    def _load_state(self, mask: int) -> None:
+        for q_idx, value in zip(self._dff_q_index, self.state):
+            self.values[q_idx] = value & mask
+
+    def evaluate(
+        self,
+        inputs: Dict[str, int],
+        mask: int = 1,
+        packed: bool = False,
+    ) -> Dict[str, int]:
+        """Combinationally evaluate without clocking the DFFs.
+
+        ``inputs`` maps port name to an integer value (scalar mode), or
+        to a list of bit-plane masks when ``packed`` is true.
+        """
+        if packed:
+            self._apply_packed_inputs(inputs, mask)  # type: ignore[arg-type]
+        else:
+            self._apply_inputs(inputs, mask)
+        self._load_state(mask)
+        self._eval(self.values, mask)
+        return self.read_outputs()
+
+    def step(
+        self,
+        inputs: Dict[str, int],
+        mask: int = 1,
+        packed: bool = False,
+    ) -> Dict[str, int]:
+        """Evaluate one cycle and advance the clock edge."""
+        outputs = self.evaluate(inputs, mask, packed)
+        self.state = [self.values[d_idx] & mask for d_idx in self._dff_d_index]
+        self.cycle_count += 1
+        return outputs
+
+    # ------------------------------------------------------------------
+    def read_outputs(self) -> Dict[str, int]:
+        """Current output-port values as bit-plane lists (width>1 packed).
+
+        In scalar mode (mask=1) the planes collapse back to the port's
+        integer value; use :meth:`read_output_value` for that.
+        """
+        result: Dict[str, int] = {}
+        for port in self.netlist.output_ports():
+            value = 0
+            for bit_index, net in enumerate(port.nets):
+                if self.values[self._net_index[net.name]] & 1:
+                    value |= 1 << bit_index
+            result[port.name] = value
+        return result
+
+    def read_output_planes(self, port_name: str) -> List[int]:
+        port = self.netlist.ports[port_name]
+        return [self.values[self._net_index[n.name]] for n in port.nets]
+
+    def read_net(self, net_name: str) -> int:
+        return self.values[self._net_index[net_name]]
+
+    def net_values(self) -> Dict[str, int]:
+        """Snapshot of every net's current (possibly packed) value."""
+        return {
+            name: self.values[idx]
+            for name, idx in self._net_index.items()
+        }
+
+    def run(
+        self,
+        stimulus: Iterable[Dict[str, int]],
+        mask: int = 1,
+        packed: bool = False,
+    ) -> List[Dict[str, int]]:
+        """Clock the netlist through a stimulus sequence; collect outputs."""
+        return [self.step(vec, mask, packed) for vec in stimulus]

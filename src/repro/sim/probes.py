@@ -1,0 +1,240 @@
+"""Signal-probability (SP) profiling — §3.2.1 of the paper.
+
+Vega attaches a counter to the output port of every cell (Q for DFFs, Y
+for gates), driven by a free-running profiling clock, and simulates
+representative workloads.  The fraction of samples at logic "1" is the
+cell's SP, which feeds the BTI stress model.
+
+Here the counter clock is the simulator's cycle loop: every simulated
+cycle samples every cell output, including cycles where the design's
+own state does not advance — the software analogue of the paper's
+"separate free-running clock".  Packed (bit-parallel) simulation counts
+all vectors in a word via popcount.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..netlist.netlist import Netlist
+from .gatesim import GateSimulator
+
+
+@dataclass
+class SPProfile:
+    """Per-net signal probabilities for one netlist.
+
+    ``sp[name]`` is the fraction of observed samples in which net
+    ``name`` held logic "1".  ``samples`` is the total sample count the
+    profile aggregates (cycles x packed vectors).
+    """
+
+    netlist_name: str
+    sp: Dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+
+    def of_instance(self, netlist: Netlist, instance_name: str) -> float:
+        """SP of a cell's output net."""
+        inst = netlist.instances[instance_name]
+        return self.sp[inst.output_net.name]
+
+    def merge(self, other: "SPProfile") -> "SPProfile":
+        """Sample-weighted merge of two profiles of the same netlist."""
+        if other.netlist_name != self.netlist_name:
+            raise ValueError("cannot merge profiles of different netlists")
+        total = self.samples + other.samples
+        if total == 0:
+            return SPProfile(self.netlist_name, dict(self.sp), 0)
+        merged = {}
+        for name in set(self.sp) | set(other.sp):
+            a = self.sp.get(name, 0.0) * self.samples
+            b = other.sp.get(name, 0.0) * other.samples
+            merged[name] = (a + b) / total
+        return SPProfile(self.netlist_name, merged, total)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "netlist": self.netlist_name,
+                "samples": self.samples,
+                "sp": self.sp,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SPProfile":
+        data = json.loads(text)
+        return cls(
+            netlist_name=data["netlist"],
+            sp=dict(data["sp"]),
+            samples=int(data["samples"]),
+        )
+
+
+class SPCounter:
+    """Accumulates 1-state (and optional toggle) counts for every net.
+
+    Toggle counting compares consecutive samples per net; it feeds the
+    switching-activity analyses (electromigration and dynamic IR drop,
+    :mod:`repro.aging.em`) the paper lists as Aging Analysis extensions.
+    """
+
+    def __init__(self, netlist: Netlist, count_toggles: bool = False):
+        self.netlist = netlist
+        self.ones: Dict[str, int] = {name: 0 for name in netlist.nets}
+        self.samples = 0
+        self.count_toggles = count_toggles
+        self.toggles: Dict[str, int] = {name: 0 for name in netlist.nets}
+        self.demand_series: List[float] = []
+        self._previous: Optional[Dict[str, int]] = None
+
+    def sample(self, sim: GateSimulator, mask: int = 1) -> None:
+        """Record one cycle's values (all packed vectors at once)."""
+        width = mask.bit_count()
+        values = sim.values
+        if self.count_toggles:
+            previous = self._previous
+            snapshot: Dict[str, int] = {}
+            cycle_toggles = 0
+            for name, index in sim._net_index.items():
+                value = values[index] & mask
+                self.ones[name] += value.bit_count()
+                snapshot[name] = value
+                if previous is not None:
+                    flips = (value ^ previous[name]).bit_count()
+                    self.toggles[name] += flips
+                    cycle_toggles += flips
+            if previous is not None:
+                self.demand_series.append(cycle_toggles / max(1, width))
+            self._previous = snapshot
+        else:
+            for name, index in sim._net_index.items():
+                self.ones[name] += (values[index] & mask).bit_count()
+        self.samples += width
+
+    def reset_history(self) -> None:
+        """Forget the previous sample (e.g. across packed batches)."""
+        self._previous = None
+
+    def profile(self) -> SPProfile:
+        if self.samples == 0:
+            raise ValueError("no samples collected")
+        return SPProfile(
+            netlist_name=self.netlist.name,
+            sp={
+                name: ones / self.samples for name, ones in self.ones.items()
+            },
+            samples=self.samples,
+        )
+
+    def activity(self) -> "ActivityProfile":
+        """Per-net toggle rates (transitions per sampled cycle)."""
+        if not self.count_toggles:
+            raise ValueError("toggle counting was not enabled")
+        if self.samples == 0:
+            raise ValueError("no samples collected")
+        return ActivityProfile(
+            netlist_name=self.netlist.name,
+            toggle_rate={
+                name: count / self.samples
+                for name, count in self.toggles.items()
+            },
+            samples=self.samples,
+            demand_series=list(self.demand_series),
+        )
+
+
+@dataclass
+class ActivityProfile:
+    """Per-net switching activity (toggles per cycle).
+
+    ``demand_series`` records the aggregate toggle count per sampled
+    cycle, feeding the dynamic IR-drop analysis.
+    """
+
+    netlist_name: str
+    toggle_rate: Dict[str, float] = field(default_factory=dict)
+    samples: int = 0
+    demand_series: List[float] = field(default_factory=list)
+
+    def hottest(self, count: int = 10):
+        """The most active nets, busiest first."""
+        return sorted(
+            self.toggle_rate.items(), key=lambda kv: -kv[1]
+        )[:count]
+
+
+def profile_stimulus(
+    netlist: Netlist,
+    stimulus: Iterable[Mapping[str, int]],
+    packed: bool = False,
+    mask: int = 1,
+) -> SPProfile:
+    """Simulate ``stimulus`` and return the resulting SP profile.
+
+    In packed mode each stimulus entry maps port names to bit-plane
+    lists and ``mask`` selects the active vectors.
+    """
+    sim = GateSimulator(netlist)
+    counter = SPCounter(netlist)
+    for vector in stimulus:
+        sim.step(dict(vector), mask=mask, packed=packed)
+        counter.sample(sim, mask=mask)
+    return counter.profile()
+
+
+def profile_activity(
+    netlist: Netlist,
+    stimulus: Iterable[Mapping[str, int]],
+) -> "ActivityProfile":
+    """Simulate ``stimulus`` with toggle counting; return the activity.
+
+    Scalar-mode only: toggle counting compares consecutive cycles, so
+    packed lanes (independent vectors) would not form a time series.
+    """
+    sim = GateSimulator(netlist)
+    counter = SPCounter(netlist, count_toggles=True)
+    for vector in stimulus:
+        sim.step(dict(vector))
+        counter.sample(sim)
+    return counter.activity()
+
+
+def profile_operand_stream(
+    netlist: Netlist,
+    operands: Sequence[Mapping[str, int]],
+    lanes: int = 256,
+    drain_cycles: int = 2,
+) -> SPProfile:
+    """Profile a long operand stream with bit-parallel batching.
+
+    ``operands`` is a list of per-port integer values (one dict per
+    operation, e.g. the ALU inputs recorded while a workload ran on the
+    ISA simulator).  Operations are packed ``lanes`` at a time into one
+    simulated stream, which keeps profiling long workloads cheap.
+    ``drain_cycles`` extra cycles let pipelined results reach the
+    output registers so their SP is observed too.
+    """
+    from .gatesim import pack_vectors
+
+    if not operands:
+        raise ValueError("empty operand stream")
+    sim = GateSimulator(netlist)
+    counter = SPCounter(netlist)
+    ports = {p.name: p.width for p in netlist.input_ports()}
+    for start in range(0, len(operands), lanes):
+        batch = operands[start : start + lanes]
+        mask = (1 << len(batch)) - 1
+        packed_inputs: Dict[str, list] = {}
+        for name, width in ports.items():
+            values = [op.get(name, 0) for op in batch]
+            packed_inputs[name] = pack_vectors(values, width)
+        sim.reset()
+        for _ in range(1 + drain_cycles):
+            sim.step(packed_inputs, mask=mask, packed=True)
+            counter.sample(sim, mask=mask)
+    return counter.profile()

@@ -1,0 +1,74 @@
+"""Minimal VCD (value change dump) writer.
+
+Traces found by the bounded model checker are "captured and saved as a
+waveform" in the paper (§3.3.3).  This writer produces standard VCD text
+so traces and simulations can be inspected with any waveform viewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, TextIO
+
+
+def _id_code(index: int) -> str:
+    """Short printable identifier per VCD spec (chars '!'..'~')."""
+    chars = []
+    index += 1
+    while index:
+        index, rem = divmod(index - 1, 94)
+        chars.append(chr(33 + rem))
+    return "".join(reversed(chars))
+
+
+class VcdWriter:
+    """Streams value changes for a fixed set of scalar signals."""
+
+    def __init__(
+        self,
+        signals: Sequence[str],
+        timescale: str = "1ns",
+        module: str = "top",
+    ):
+        self.signals = list(signals)
+        self.timescale = timescale
+        self.module = module
+        self._codes: Dict[str, str] = {
+            name: _id_code(i) for i, name in enumerate(self.signals)
+        }
+        self._last: Dict[str, Optional[int]] = {n: None for n in self.signals}
+        self._lines: List[str] = []
+        self._time = 0
+        self._emit_header()
+
+    def _emit_header(self) -> None:
+        self._lines.append(f"$timescale {self.timescale} $end")
+        self._lines.append(f"$scope module {self.module} $end")
+        for name in self.signals:
+            safe = name.replace(" ", "_")
+            self._lines.append(
+                f"$var wire 1 {self._codes[name]} {safe} $end"
+            )
+        self._lines.append("$upscope $end")
+        self._lines.append("$enddefinitions $end")
+
+    def sample(self, values: Mapping[str, int], time: Optional[int] = None) -> None:
+        """Record the current value of every signal at ``time``."""
+        if time is None:
+            time = self._time
+        changes = []
+        for name in self.signals:
+            value = values.get(name)
+            if value is None or value == self._last[name]:
+                continue
+            changes.append(f"{value & 1}{self._codes[name]}")
+            self._last[name] = value
+        if changes:
+            self._lines.append(f"#{time}")
+            self._lines.extend(changes)
+        self._time = time + 1
+
+    def dump(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def write(self, fp: TextIO) -> None:
+        fp.write(self.dump())

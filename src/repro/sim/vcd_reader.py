@@ -1,0 +1,116 @@
+"""VCD reader: signal-probability profiles from recorded waveforms.
+
+The paper's commercial-setting sketch (§6.3) has data-center operators
+collecting traces in the field and chip vendors refining Aging Analysis
+with them.  A VCD waveform is the natural interchange format; this
+reader parses the (scalar-signal) VCD subset our writer emits — and
+that logic analyzers / simulators commonly produce — and converts the
+recorded duty cycles into an :class:`~repro.sim.probes.SPProfile`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .probes import SPProfile
+
+
+class VcdParseError(Exception):
+    """Raised on malformed VCD input."""
+
+
+_VAR_RE = re.compile(
+    r"\$var\s+\w+\s+(\d+)\s+(\S+)\s+(\S+)(?:\s+\[\d+(?::\d+)?\])?\s+\$end"
+)
+_TIME_RE = re.compile(r"^#(\d+)$")
+_SCALAR_RE = re.compile(r"^([01xz])(\S+)$")
+
+
+@dataclass
+class VcdData:
+    """Parsed waveform: per-signal value-change lists."""
+
+    signals: Dict[str, str] = field(default_factory=dict)  # code -> name
+    changes: Dict[str, List[Tuple[int, int]]] = field(default_factory=dict)
+    end_time: int = 0
+
+    def duty_cycle(self, code: str) -> float:
+        """Fraction of [0, end_time] the signal spent at 1."""
+        history = self.changes.get(code, [])
+        if not history or self.end_time <= 0:
+            return 0.0
+        high_time = 0
+        for index, (time, value) in enumerate(history):
+            if not value:
+                continue
+            next_time = (
+                history[index + 1][0]
+                if index + 1 < len(history)
+                else self.end_time
+            )
+            high_time += max(0, next_time - time)
+        return min(1.0, high_time / self.end_time)
+
+
+def parse_vcd(text: str) -> VcdData:
+    """Parse scalar-signal VCD text."""
+    data = VcdData()
+    time = 0
+    in_header = True
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if in_header:
+            var = _VAR_RE.match(line)
+            if var:
+                width, code, name = var.groups()
+                if width != "1":
+                    raise VcdParseError(
+                        f"only scalar signals supported, got width {width}"
+                    )
+                data.signals[code] = name
+                continue
+            if line.startswith("$enddefinitions"):
+                in_header = False
+            continue
+        time_match = _TIME_RE.match(line)
+        if time_match:
+            time = int(time_match.group(1))
+            data.end_time = max(data.end_time, time)
+            continue
+        change = _SCALAR_RE.match(line)
+        if change:
+            value_char, code = change.groups()
+            if code not in data.signals:
+                raise VcdParseError(f"value change for unknown code {code!r}")
+            value = 1 if value_char == "1" else 0  # x/z conservatively 0
+            data.changes.setdefault(code, []).append((time, value))
+            continue
+        if line.startswith("$"):
+            continue  # $dumpvars etc.
+        raise VcdParseError(f"unrecognized VCD line {line!r}")
+    # The final value persists one more step so single-sample dumps
+    # still carry duty information.
+    data.end_time += 1
+    return data
+
+
+def sp_profile_from_vcd(
+    text: str,
+    netlist_name: str,
+    samples: Optional[int] = None,
+) -> SPProfile:
+    """SP profile from a recorded waveform (field-trace ingestion)."""
+    data = parse_vcd(text)
+    sp = {
+        name: data.duty_cycle(code)
+        for code, name in data.signals.items()
+    }
+    return SPProfile(
+        netlist_name=netlist_name,
+        sp=sp,
+        samples=samples if samples is not None else data.end_time,
+    )

@@ -1,0 +1,25 @@
+"""Static timing analysis: timing graph, clock tree, aging-aware STA."""
+
+from .aging_sta import AgingAwareSta, AgingStaResult, delay_increase_histogram
+from .clocktree import ClockBuffer, ClockTree
+from .report import format_path, report_timing
+from .timing import (
+    DelayModel,
+    StaReport,
+    StaticTimingAnalyzer,
+    TimingViolation,
+)
+
+__all__ = [
+    "AgingAwareSta",
+    "AgingStaResult",
+    "delay_increase_histogram",
+    "ClockBuffer",
+    "format_path",
+    "report_timing",
+    "ClockTree",
+    "DelayModel",
+    "StaReport",
+    "StaticTimingAnalyzer",
+    "TimingViolation",
+]

@@ -1,0 +1,193 @@
+"""Clock-distribution-network model with aging-induced phase shift.
+
+The paper's Aging-Aware STA "analyzes the effect of aging on the clock
+distribution network ... which could potentially lead to hold
+violations" (§3.2.2), and identifies clock gating as a primary cause of
+uneven aging across the network (§2.3.1): a gated-off subtree parks its
+buffers at a constant level, putting them under static BTI stress, while
+free-running branches toggle at SP ≈ 0.5.
+
+This module builds a balanced buffer tree over a module's flip-flops.
+Fresh, the tree is skew-balanced (equal insertion delay to every sink).
+Aged, each buffer's delay is scaled by the aging library according to
+the SP implied by its subtree's gating duty — so gating asymmetry turns
+into launch/capture phase shift, exactly the mechanism behind the
+paper's three FPU hold violations (Table 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..aging.charlib import AgingTimingLibrary
+from ..netlist.netlist import Netlist
+
+
+@dataclass
+class ClockBuffer:
+    """One buffer of the tree; ``level`` 0 is the root driver."""
+
+    name: str
+    level: int
+    gating_duty: float = 0.0  # fraction of time the clock is held off
+
+    @property
+    def signal_probability(self) -> float:
+        """SP of the buffer's output net.
+
+        A free-running clock spends half its time high (SP 0.5); while
+        gated, the net is parked low, so gating linearly pulls SP toward
+        zero — and toward maximal pull-up BTI stress.
+        """
+        return 0.5 * (1.0 - self.gating_duty)
+
+
+@dataclass
+class ClockTree:
+    """A balanced binary clock tree over a netlist's DFF sinks."""
+
+    netlist_name: str
+    buffers: List[ClockBuffer] = field(default_factory=list)
+    # sink (DFF instance name) -> list of buffer indices root..leaf
+    sink_paths: Dict[str, List[int]] = field(default_factory=dict)
+    buffer_tmin: float = 0.016
+    buffer_tmax: float = 0.032
+
+    @classmethod
+    def build(
+        cls,
+        netlist: Netlist,
+        fanout_per_leaf: int = 8,
+        gated_sinks: Optional[Mapping[str, float]] = None,
+        chain_length: int = 1,
+    ) -> "ClockTree":
+        """Synthesize a balanced tree for every DFF in ``netlist``.
+
+        Args:
+            fanout_per_leaf: DFFs served by one leaf buffer group.
+            gated_sinks: DFF name -> gating duty in [0, 1].  A buffer's
+                duty is the mean of its sinks' duties.  Sinks are
+                *clustered by duty* before leaf assignment — clock-tree
+                synthesis places an ICG at a subtree root, so a gated
+                register bank shares one branch rather than being
+                scattered across the network.
+            chain_length: Buffers per tree level (drive-strength
+                repeaters).  Real 28 nm clock networks have several
+                hundred picoseconds to nanoseconds of insertion delay;
+                longer chains model that, and proportionally amplify
+                aging-induced phase shift between branches.
+        """
+        buf_cell = netlist.library["CLKBUF"] if "CLKBUF" in netlist.library else None
+        tmin = buf_cell.tmin if buf_cell else 0.016
+        tmax = buf_cell.tmax if buf_cell else 0.032
+        tree = cls(netlist_name=netlist.name, buffer_tmin=tmin, buffer_tmax=tmax)
+        gated = dict(gated_sinks or {})
+        # Cluster: gated banks under their own branches, and never mix
+        # duty groups within one leaf — an ICG drives a whole subtree,
+        # so a leaf's sinks share a gating domain.
+        sinks = sorted(
+            (d.name for d in netlist.dffs()),
+            key=lambda name: (gated.get(name, 0.0), name),
+        )
+        if not sinks:
+            return tree
+        leaves = []
+        group: List[str] = []
+        group_duty: Optional[float] = None
+        for sink in sinks:
+            duty = gated.get(sink, 0.0)
+            if group and (duty != group_duty or len(group) == fanout_per_leaf):
+                leaves.append(group)
+                group = []
+            group_duty = duty
+            group.append(sink)
+        if group:
+            leaves.append(group)
+        depth = max(1, math.ceil(math.log2(len(leaves))) if len(leaves) > 1 else 1)
+
+        # Index tree nodes; each (level, index) node is a repeater
+        # chain of `chain_length` buffers.
+        def buffers_at(level: int, index: int) -> Tuple[int, ...]:
+            key = (level, index)
+            ids = tree._index.get(key)
+            if ids is None:
+                ids = tuple(
+                    range(len(tree.buffers), len(tree.buffers) + chain_length)
+                )
+                for position in range(chain_length):
+                    tree.buffers.append(
+                        ClockBuffer(
+                            name=f"cb_L{level}_{index}_{position}",
+                            level=level,
+                        )
+                    )
+                tree._index[key] = ids
+            return ids
+
+        tree._index = {}
+        root = buffers_at(0, 0)
+        for leaf_number, leaf_sinks in enumerate(leaves):
+            path = list(root)
+            for level in range(1, depth + 1):
+                index = leaf_number >> (depth - level)
+                path.extend(buffers_at(level, index))
+            for sink in leaf_sinks:
+                tree.sink_paths[sink] = path
+        del tree._index
+
+        # Propagate gating duties up the tree (mean over served sinks).
+        duty_sum: Dict[int, float] = {}
+        sink_count: Dict[int, int] = {}
+        for sink, path in tree.sink_paths.items():
+            duty = gated.get(sink, 0.0)
+            for idx in path:
+                duty_sum[idx] = duty_sum.get(idx, 0.0) + duty
+                sink_count[idx] = sink_count.get(idx, 0) + 1
+        for idx, buf in enumerate(tree.buffers):
+            if sink_count.get(idx):
+                buf.gating_duty = duty_sum[idx] / sink_count[idx]
+        return tree
+
+    @property
+    def depth(self) -> int:
+        if not self.sink_paths:
+            return 0
+        return max(len(p) for p in self.sink_paths.values())
+
+    def fresh_arrivals(self) -> Dict[str, float]:
+        """Per-sink clock insertion delay with un-aged buffers.
+
+        Launch and capture flops share the tree, so common-path
+        pessimism removal makes a single arrival per sink the right
+        model: early/late spread on the shared trunk must not count as
+        skew.  A balanced fresh tree therefore shows zero skew.
+        """
+        return {
+            sink: len(path) * self.buffer_tmax
+            for sink, path in self.sink_paths.items()
+        }
+
+    def aged_arrivals(self, timing_lib: AgingTimingLibrary) -> Dict[str, float]:
+        """Per-sink insertion delay after aging each buffer.
+
+        Each buffer's delay is scaled by the aging library's CLKBUF
+        table at the buffer's gating-dependent SP; asymmetric gating
+        turns into real launch/capture phase shift.
+        """
+        factor = [
+            timing_lib.delay_factor("CLKBUF", buf.signal_probability)
+            for buf in self.buffers
+        ]
+        return {
+            sink: sum(self.buffer_tmax * factor[i] for i in path)
+            for sink, path in self.sink_paths.items()
+        }
+
+    def max_phase_shift(self, timing_lib: AgingTimingLibrary) -> float:
+        """Largest aged leaf-to-leaf skew (ns) — the §3.2.2 phase shift."""
+        arrivals = self.aged_arrivals(timing_lib)
+        if not arrivals:
+            return 0.0
+        return max(arrivals.values()) - min(arrivals.values())

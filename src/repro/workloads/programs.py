@@ -1,0 +1,888 @@
+"""Embench-style workloads for the VR32 core.
+
+The paper profiles and evaluates with embench-iot (§4, §5.1), using the
+floating-point matrix-inversion kernel *minver* as the representative
+workload for Aging Analysis.  These eleven kernels mirror that suite's
+mix of integer, floating-point, branchy, and memory-bound behaviour,
+ported to our ISA:
+
+=============  ====  ==========================================
+name           kind  kernel
+=============  ====  ==========================================
+minver         fp    3x3 matrix inversion (adjugate + Newton
+                     reciprocal; our FPU has no divider)
+crc32          int   bitwise CRC-32 over a 64-byte buffer
+matmult        int   4x4 integer matrix multiply (shift-add mul)
+matmult_hw     int   the same kernel via RV32M mul (MDU extension)
+fir            fp    4-tap FIR filter over 32 samples
+edn            fp    dot product + saxpy over 16-wide vectors
+bitcount       int   population counts with three algorithms
+primecount     int   sieve of Eratosthenes below 400
+qsort          int   insertion sort of 32 pseudo-random words
+st             fp    mean/variance statistics over 24 samples
+nbody          fp    pairwise interaction accumulation (8 bodies)
+=============  ====  ==========================================
+
+Every program leaves a checksum in ``a0`` and halts with ``ecall``; the
+expected values are independently recomputed by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    kind: str  # "int" | "fp"
+    description: str
+    source: str
+
+
+def _fp(value: float) -> int:
+    """binary16 bit pattern of a Python float (exact for our constants)."""
+    import numpy as np
+
+    return int(np.float16(value).view(np.uint16))
+
+
+# ---------------------------------------------------------------------------
+# crc32 — bitwise CRC-32, polynomial 0xEDB88320, over bytes (7*i + 3) & 0xFF.
+# ---------------------------------------------------------------------------
+CRC32_SOURCE = """
+.data
+buf: .space 64
+.text
+    # Fill the buffer with (7*i + 3) & 0xff.
+    la   t0, buf
+    li   t1, 0          # i
+    li   t2, 64
+fill:
+    slli t3, t1, 3      # 8i
+    sub  t3, t3, t1     # 7i
+    addi t3, t3, 3
+    sb   t3, 0(t0)
+    addi t0, t0, 1
+    addi t1, t1, 1
+    bne  t1, t2, fill
+
+    li   a0, -1         # crc = 0xffffffff
+    la   t0, buf
+    li   t1, 0
+byte_loop:
+    lbu  t3, 0(t0)
+    xor  a0, a0, t3
+    li   t4, 8
+bit_loop:
+    andi t5, a0, 1
+    srli a0, a0, 1
+    beqz t5, no_poly
+    li   t6, 0xEDB88320
+    xor  a0, a0, t6
+no_poly:
+    addi t4, t4, -1
+    bnez t4, bit_loop
+    addi t0, t0, 1
+    addi t1, t1, 1
+    li   t2, 64
+    bne  t1, t2, byte_loop
+    not  a0, a0
+    ecall
+"""
+
+# ---------------------------------------------------------------------------
+# matmult — 4x4 integer matrix multiply via a shift-add multiply routine.
+# ---------------------------------------------------------------------------
+MATMULT_SOURCE = """
+.data
+A: .space 64
+B: .space 64
+C: .space 64
+.text
+    # A[i] = i + 1 ; B[i] = 2*i + 1   (i in 0..15, word arrays)
+    la   t0, A
+    la   t1, B
+    li   t2, 0
+init:
+    addi t3, t2, 1
+    sw   t3, 0(t0)
+    slli t4, t2, 1
+    addi t4, t4, 1
+    sw   t4, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 1
+    li   t5, 16
+    bne  t2, t5, init
+
+    li   s0, 0          # i
+outer_i:
+    li   s1, 0          # j
+outer_j:
+    li   s2, 0          # k
+    li   s3, 0          # acc
+inner_k:
+    # A[i*4+k]
+    slli t0, s0, 2
+    add  t0, t0, s2
+    slli t0, t0, 2
+    la   t1, A
+    add  t1, t1, t0
+    lw   a1, 0(t1)
+    # B[k*4+j]
+    slli t0, s2, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, B
+    add  t1, t1, t0
+    lw   a2, 0(t1)
+    call mul32
+    add  s3, s3, a0
+    addi s2, s2, 1
+    li   t5, 4
+    bne  s2, t5, inner_k
+    # C[i*4+j] = acc
+    slli t0, s0, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, C
+    add  t1, t1, t0
+    sw   s3, 0(t1)
+    addi s1, s1, 1
+    li   t5, 4
+    bne  s1, t5, outer_j
+    addi s0, s0, 1
+    li   t5, 4
+    bne  s0, t5, outer_i
+
+    # checksum: xor of C
+    la   t0, C
+    li   t1, 0
+    li   a0, 0
+sum:
+    lw   t3, 0(t0)
+    xor  a0, a0, t3
+    add  a0, a0, t3
+    addi t0, t0, 4
+    addi t1, t1, 1
+    li   t5, 16
+    bne  t1, t5, sum
+    ecall
+
+mul32:                  # a0 = a1 * a2 (shift-add)
+    li   a0, 0
+mul_loop:
+    andi t6, a2, 1
+    beqz t6, mul_skip
+    add  a0, a0, a1
+mul_skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, mul_loop
+    ret
+"""
+
+MATMULT_HW_SOURCE = """
+.data
+A: .space 64
+B: .space 64
+C: .space 64
+.text
+    # A[i] = i + 1 ; B[i] = 2*i + 1   (i in 0..15, word arrays)
+    la   t0, A
+    la   t1, B
+    li   t2, 0
+init:
+    addi t3, t2, 1
+    sw   t3, 0(t0)
+    slli t4, t2, 1
+    addi t4, t4, 1
+    sw   t4, 0(t1)
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, 1
+    li   t5, 16
+    bne  t2, t5, init
+
+    li   s0, 0          # i
+outer_i:
+    li   s1, 0          # j
+outer_j:
+    li   s2, 0          # k
+    li   s3, 0          # acc
+inner_k:
+    # A[i*4+k]
+    slli t0, s0, 2
+    add  t0, t0, s2
+    slli t0, t0, 2
+    la   t1, A
+    add  t1, t1, t0
+    lw   a1, 0(t1)
+    # B[k*4+j]
+    slli t0, s2, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, B
+    add  t1, t1, t0
+    lw   a2, 0(t1)
+    mul  a0, a1, a2
+    add  s3, s3, a0
+    addi s2, s2, 1
+    li   t5, 4
+    bne  s2, t5, inner_k
+    # C[i*4+j] = acc
+    slli t0, s0, 2
+    add  t0, t0, s1
+    slli t0, t0, 2
+    la   t1, C
+    add  t1, t1, t0
+    sw   s3, 0(t1)
+    addi s1, s1, 1
+    li   t5, 4
+    bne  s1, t5, outer_j
+    addi s0, s0, 1
+    li   t5, 4
+    bne  s0, t5, outer_i
+
+    # checksum: xor of C
+    la   t0, C
+    li   t1, 0
+    li   a0, 0
+sum:
+    lw   t3, 0(t0)
+    xor  a0, a0, t3
+    add  a0, a0, t3
+    addi t0, t0, 4
+    addi t1, t1, 1
+    li   t5, 16
+    bne  t1, t5, sum
+    ecall
+"""
+
+# ---------------------------------------------------------------------------
+# bitcount — three popcount algorithms over a pseudo-random stream.
+# ---------------------------------------------------------------------------
+BITCOUNT_SOURCE = """
+.text
+    li   s0, 0x12345678  # x (LCG state)
+    li   s1, 0           # total
+    li   s2, 24          # iterations
+loop:
+    # x = x * 1103515245 + 12345  via shift-add multiply
+    mv   a1, s0
+    li   a2, 1103515245
+    call mul32
+    addi s0, a0, 0
+    li   t0, 12345
+    add  s0, s0, t0
+
+    # method 1: naive bit loop
+    mv   t0, s0
+    li   t1, 0
+nb:
+    andi t2, t0, 1
+    add  t1, t1, t2
+    srli t0, t0, 1
+    bnez t0, nb
+    add  s1, s1, t1
+
+    # method 2: Kernighan's trick
+    mv   t0, s0
+    li   t1, 0
+kb:
+    beqz t0, kdone
+    addi t2, t0, -1
+    and  t0, t0, t2
+    addi t1, t1, 1
+    j    kb
+kdone:
+    add  s1, s1, t1
+
+    # method 3: nibble lookup in registers (shift/mask adds)
+    mv   t0, s0
+    li   t1, 0
+xb:
+    andi t2, t0, 3
+    sltu t3, x0, t2      # t3 = t2 != 0
+    li   t4, 3
+    sltu t4, t2, t4      # t4 = t2 < 3
+    xori t4, t4, 1       # t4 = t2 == 3
+    add  t1, t1, t3
+    add  t1, t1, t4
+    srli t0, t0, 2
+    bnez t0, xb
+    add  s1, s1, t1
+
+    addi s2, s2, -1
+    bnez s2, loop
+    mv   a0, s1
+    ecall
+
+mul32:
+    li   a0, 0
+mul_loop:
+    andi t6, a2, 1
+    beqz t6, mul_skip
+    add  a0, a0, a1
+mul_skip:
+    slli a1, a1, 1
+    srli a2, a2, 1
+    bnez a2, mul_loop
+    ret
+"""
+
+# ---------------------------------------------------------------------------
+# primecount — sieve of Eratosthenes below 400.
+# ---------------------------------------------------------------------------
+PRIMECOUNT_SOURCE = """
+.data
+sieve: .space 400
+.text
+    li   s0, 400
+    # composite marking
+    li   s1, 2          # p
+psieve:
+    # mark multiples of p starting at 2p
+    slli t0, s1, 1      # m = 2p
+mark:
+    bge  t0, s0, next_p
+    la   t1, sieve
+    add  t1, t1, t0
+    li   t2, 1
+    sb   t2, 0(t1)
+    add  t0, t0, s1
+    j    mark
+next_p:
+    addi s1, s1, 1
+    # stop when p*p >= 400 (p >= 20)
+    li   t3, 20
+    blt  s1, t3, psieve
+
+    # count unmarked from 2
+    li   a0, 0
+    li   t0, 2
+count:
+    la   t1, sieve
+    add  t1, t1, t0
+    lbu  t2, 0(t1)
+    bnez t2, not_prime
+    addi a0, a0, 1
+not_prime:
+    addi t0, t0, 1
+    bne  t0, s0, count
+    ecall
+"""
+
+# ---------------------------------------------------------------------------
+# qsort — insertion sort of 32 LCG-generated words, checksum of order.
+# ---------------------------------------------------------------------------
+QSORT_SOURCE = """
+.data
+arr: .space 128
+.text
+    # generate 32 values with a xorshift-ish LCG (no multiply needed)
+    li   t0, 0x2545F491
+    la   t1, arr
+    li   t2, 32
+gen:
+    slli t3, t0, 13
+    xor  t0, t0, t3
+    srli t3, t0, 17
+    xor  t0, t0, t3
+    slli t3, t0, 5
+    xor  t0, t0, t3
+    sw   t0, 0(t1)
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, gen
+
+    # insertion sort (unsigned)
+    li   s0, 1          # i
+isort:
+    li   t6, 32
+    bge  s0, t6, done_sort
+    la   t0, arr
+    slli t1, s0, 2
+    add  t0, t0, t1
+    lw   s1, 0(t0)      # key
+    addi s2, s0, -1     # j
+inner:
+    blt  s2, x0, place
+    la   t0, arr
+    slli t1, s2, 2
+    add  t0, t0, t1
+    lw   t2, 0(t0)
+    bgeu s1, t2, place
+    sw   t2, 4(t0)
+    addi s2, s2, -1
+    j    inner
+place:
+    la   t0, arr
+    addi t1, s2, 1
+    slli t1, t1, 2
+    add  t0, t0, t1
+    sw   s1, 0(t0)
+    addi s0, s0, 1
+    j    isort
+done_sort:
+    # checksum: sum of value*index parity -> xor-rotate accumulate
+    la   t0, arr
+    li   t1, 0
+    li   a0, 0
+cks:
+    lw   t2, 0(t0)
+    xor  a0, a0, t2
+    slli t3, a0, 1
+    srli t4, a0, 31
+    or   a0, t3, t4
+    addi t0, t0, 4
+    addi t1, t1, 1
+    li   t5, 32
+    bne  t1, t5, cks
+    ecall
+"""
+
+
+def _fp_array(values: List[float]) -> str:
+    return ", ".join(str(_fp(v)) for v in values)
+
+
+# ---------------------------------------------------------------------------
+# fir — 4-tap FIR over 32 samples, binary16.
+# ---------------------------------------------------------------------------
+def _fir_source() -> str:
+    taps = [0.25, 0.5, 0.125, 0.0625]
+    samples = [((i * 37) % 17 - 8) * 0.25 for i in range(32)]
+    return f"""
+.data
+taps: .half {_fp_array(taps)}
+xs:   .half {_fp_array(samples)}
+acc:  .half 0
+.text
+    li   s0, 3            # n, starting where the window fits
+    li   s5, 0            # checksum accumulator (int)
+    la   s1, taps
+    la   s2, xs
+fir_n:
+    fmv.h.x fa0, x0       # y = 0
+    li   s3, 0            # k
+fir_k:
+    slli t0, s3, 1
+    add  t1, s1, t0
+    flh  fa1, 0(t1)       # taps[k]
+    sub  t2, s0, s3
+    slli t2, t2, 1
+    add  t2, s2, t2
+    flh  fa2, 0(t2)       # xs[n-k]
+    fmul.h fa3, fa1, fa2
+    fadd.h fa0, fa0, fa3
+    addi s3, s3, 1
+    li   t3, 4
+    bne  s3, t3, fir_k
+    fmv.x.h t4, fa0
+    add  s5, s5, t4
+    addi s0, s0, 1
+    li   t3, 32
+    bne  s0, t3, fir_n
+    mv   a0, s5
+    ecall
+"""
+
+
+# ---------------------------------------------------------------------------
+# edn — dot product and saxpy over 16-wide binary16 vectors.
+# ---------------------------------------------------------------------------
+def _edn_source() -> str:
+    va = [((i * 13) % 9 - 4) * 0.5 for i in range(16)]
+    vb = [((i * 7) % 11 - 5) * 0.25 for i in range(16)]
+    return f"""
+.data
+va: .half {_fp_array(va)}
+vb: .half {_fp_array(vb)}
+vy: .space 32
+.text
+    # dot = sum(va[i] * vb[i])
+    fmv.h.x fa0, x0
+    la   s1, va
+    la   s2, vb
+    li   s0, 0
+dot:
+    slli t0, s0, 1
+    add  t1, s1, t0
+    flh  fa1, 0(t1)
+    add  t2, s2, t0
+    flh  fa2, 0(t2)
+    fmul.h fa3, fa1, fa2
+    fadd.h fa0, fa0, fa3
+    addi s0, s0, 1
+    li   t3, 16
+    bne  s0, t3, dot
+
+    # saxpy: vy[i] = dot * va[i] + vb[i]; checksum xors patterns
+    la   s3, vy
+    li   s0, 0
+    li   a0, 0
+saxpy:
+    slli t0, s0, 1
+    add  t1, s1, t0
+    flh  fa1, 0(t1)
+    add  t2, s2, t0
+    flh  fa2, 0(t2)
+    fmul.h fa4, fa0, fa1
+    fadd.h fa4, fa4, fa2
+    add  t4, s3, t0
+    fsh  fa4, 0(t4)
+    fmv.x.h t5, fa4
+    xor  a0, a0, t5
+    slli t6, a0, 3
+    srli t5, a0, 29
+    or   a0, t6, t5
+    addi s0, s0, 1
+    li   t3, 16
+    bne  s0, t3, saxpy
+    ecall
+"""
+
+
+# ---------------------------------------------------------------------------
+# st — mean and variance statistics, binary16.
+# ---------------------------------------------------------------------------
+def _st_source() -> str:
+    data = [((i * 29) % 23 - 11) * 0.125 for i in range(24)]
+    inv_n = 1.0 / 24
+    return f"""
+.data
+xs: .half {_fp_array(data)}
+.text
+    # mean = (1/24) * sum(x)
+    fmv.h.x fa0, x0
+    la   s1, xs
+    li   s0, 0
+msum:
+    slli t0, s0, 1
+    add  t1, s1, t0
+    flh  fa1, 0(t1)
+    fadd.h fa0, fa0, fa1
+    addi s0, s0, 1
+    li   t3, 24
+    bne  s0, t3, msum
+    li   t4, {_fp(inv_n)}
+    fmv.h.x fa2, t4
+    fmul.h fa0, fa0, fa2   # mean
+
+    # var = (1/24) * sum((x - mean)^2)
+    fmv.h.x fa3, x0
+    li   s0, 0
+vsum:
+    slli t0, s0, 1
+    add  t1, s1, t0
+    flh  fa1, 0(t1)
+    fsub.h fa4, fa1, fa0
+    fmul.h fa5, fa4, fa4
+    fadd.h fa3, fa3, fa5
+    addi s0, s0, 1
+    li   t3, 24
+    bne  s0, t3, vsum
+    fmul.h fa3, fa3, fa2
+
+    fmv.x.h t0, fa0
+    fmv.x.h t1, fa3
+    slli t1, t1, 16
+    or   a0, t0, t1
+    ecall
+"""
+
+
+# ---------------------------------------------------------------------------
+# nbody — pairwise interaction accumulation over 8 bodies, binary16.
+# ---------------------------------------------------------------------------
+def _nbody_source() -> str:
+    xs = [((i * 19) % 13 - 6) * 0.25 for i in range(8)]
+    ys = [((i * 23) % 11 - 5) * 0.25 for i in range(8)]
+    ms = [1.0 + (i % 3) * 0.5 for i in range(8)]
+    return f"""
+.data
+px: .half {_fp_array(xs)}
+py: .half {_fp_array(ys)}
+pm: .half {_fp_array(ms)}
+.text
+    # energy-like sum: E += m_i * m_j * (dx*dx + dy*dy)
+    fmv.h.x fs0, x0
+    li   s0, 0            # i
+ni:
+    addi s1, s0, 1        # j
+nj:
+    li   t3, 8
+    bge  s1, t3, ni_next
+    la   t0, px
+    slli t1, s0, 1
+    add  t2, t0, t1
+    flh  fa0, 0(t2)       # x_i
+    slli t4, s1, 1
+    add  t5, t0, t4
+    flh  fa1, 0(t5)       # x_j
+    fsub.h fa2, fa0, fa1  # dx
+    la   t0, py
+    add  t2, t0, t1
+    flh  fa0, 0(t2)
+    add  t5, t0, t4
+    flh  fa1, 0(t5)
+    fsub.h fa3, fa0, fa1  # dy
+    fmul.h fa2, fa2, fa2
+    fmul.h fa3, fa3, fa3
+    fadd.h fa2, fa2, fa3  # r2
+    la   t0, pm
+    add  t2, t0, t1
+    flh  fa0, 0(t2)
+    add  t5, t0, t4
+    flh  fa1, 0(t5)
+    fmul.h fa0, fa0, fa1  # m_i * m_j
+    fmul.h fa2, fa0, fa2
+    fadd.h fs0, fs0, fa2
+    addi s1, s1, 1
+    j    nj
+ni_next:
+    addi s0, s0, 1
+    li   t3, 7
+    ble  s0, t3, ni
+    fmv.x.h a0, fs0
+    ecall
+"""
+
+
+# ---------------------------------------------------------------------------
+# minver — 3x3 matrix inversion via adjugate and a Newton reciprocal.
+# ---------------------------------------------------------------------------
+def _minver_source() -> str:
+    matrix = [2.0, 0.5, 1.0, -1.0, 1.5, 0.25, 0.5, -0.75, 1.25]
+    return f"""
+.data
+M:   .half {_fp_array(matrix)}
+ADJ: .space 18
+.text
+    # adj[0] = M4*M8 - M5*M7, etc. (cofactor expansion); all via
+    # flh/fmul/fsub.  Offsets are element*2 bytes.
+    la   s0, M
+    la   s1, ADJ
+
+    # helper-free unrolled cofactors
+    flh  fa0, 8(s0)    # M4
+    flh  fa1, 16(s0)   # M8
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 10(s0)   # M5
+    flh  fa1, 14(s0)   # M7
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 0(s1)    # adj00
+
+    flh  fa0, 4(s0)    # M2
+    flh  fa1, 14(s0)   # M7
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 2(s0)    # M1
+    flh  fa1, 16(s0)   # M8
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 2(s1)    # adj01
+
+    flh  fa0, 2(s0)    # M1
+    flh  fa1, 10(s0)   # M5
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 4(s0)    # M2
+    flh  fa1, 8(s0)    # M4
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 4(s1)    # adj02
+
+    flh  fa0, 10(s0)   # M5
+    flh  fa1, 12(s0)   # M6
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 6(s0)    # M3
+    flh  fa1, 16(s0)   # M8
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 6(s1)    # adj10
+
+    flh  fa0, 0(s0)    # M0
+    flh  fa1, 16(s0)   # M8
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 4(s0)    # M2
+    flh  fa1, 12(s0)   # M6
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 8(s1)    # adj11
+
+    flh  fa0, 4(s0)    # M2
+    flh  fa1, 6(s0)    # M3
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 0(s0)    # M0
+    flh  fa1, 10(s0)   # M5
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 10(s1)   # adj12
+
+    flh  fa0, 6(s0)    # M3
+    flh  fa1, 14(s0)   # M7
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 8(s0)    # M4
+    flh  fa1, 12(s0)   # M6
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 12(s1)   # adj20
+
+    flh  fa0, 2(s0)    # M1
+    flh  fa1, 12(s0)   # M6
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 0(s0)    # M0
+    flh  fa1, 14(s0)   # M7
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 14(s1)   # adj21
+
+    flh  fa0, 0(s0)    # M0
+    flh  fa1, 8(s0)    # M4
+    fmul.h fa2, fa0, fa1
+    flh  fa0, 2(s0)    # M1
+    flh  fa1, 6(s0)    # M3
+    fmul.h fa3, fa0, fa1
+    fsub.h fa2, fa2, fa3
+    fsh  fa2, 16(s1)   # adj22
+
+    # det = M0*adj00 + M1*adj10 + M2*adj20
+    flh  fa0, 0(s0)
+    flh  fa1, 0(s1)
+    fmul.h fs0, fa0, fa1
+    flh  fa0, 2(s0)
+    flh  fa1, 6(s1)
+    fmul.h fa2, fa0, fa1
+    fadd.h fs0, fs0, fa2
+    flh  fa0, 4(s0)
+    flh  fa1, 12(s1)
+    fmul.h fa2, fa0, fa1
+    fadd.h fs0, fs0, fa2   # det
+
+    # r ~= 1/det by Newton-Raphson: r' = r * (2 - det*r), 4 rounds,
+    # seeded with 0.25 (valid for our matrix, det ~= 4.07).
+    li   t0, {_fp(0.25)}
+    fmv.h.x fs1, t0
+    li   t1, {_fp(2.0)}
+    fmv.h.x fs2, t1
+    li   s2, 4
+newton:
+    fmul.h fa0, fs0, fs1
+    fsub.h fa0, fs2, fa0
+    fmul.h fs1, fs1, fa0
+    addi s2, s2, -1
+    bnez s2, newton
+
+    # inverse = adj * r ; checksum xor-rotates the 9 bit patterns
+    li   s3, 0
+    li   a0, 0
+invloop:
+    slli t0, s3, 1
+    add  t1, s1, t0
+    flh  fa0, 0(t1)
+    fmul.h fa0, fa0, fs1
+    fmv.x.h t2, fa0
+    xor  a0, a0, t2
+    slli t3, a0, 5
+    srli t4, a0, 27
+    or   a0, t3, t4
+    addi s3, s3, 1
+    li   t5, 9
+    bne  s3, t5, invloop
+    ecall
+"""
+
+
+#: Inner kernel repetitions per harness iteration (embench's
+#: ``benchmark_body`` runs its kernel in a loop the same way).
+HARNESS_INNER = 8
+
+#: Outer harness iterations per workload, sized so every benchmark runs
+#: a few hundred thousand cycles — embench-scale — which is what makes
+#: sub-1% profile-guided integration overhead achievable (Figure 9).
+HARNESS_OUTER = {
+    "crc32": 7,
+    "matmult": 9,
+    "matmult_hw": 24,
+    "bitcount": 3,
+    "primecount": 3,
+    "qsort": 8,
+    "fir": 16,
+    "edn": 56,
+    "st": 55,
+    "nbody": 26,
+    "minver": 104,
+}
+
+
+def _wrap_harness(source: str, outer: int, inner: int = HARNESS_INNER) -> str:
+    """Wrap a kernel in the embench-style iteration harness.
+
+    The kernel body runs ``outer * inner`` times; ``__bench_entry``
+    (executed ``outer`` times) is the natural cool-but-routine
+    integration point for profile-guided test splicing.  Registers
+    ``s10``/``s11`` are reserved for the harness; every kernel is
+    idempotent, so the final checksum equals a single-run checksum.
+    """
+    lines = source.splitlines()
+    out: List[str] = []
+    entered = False
+    terminated = False
+    for line in lines:
+        if not entered and line.strip() == ".text":
+            out.append(line)
+            out.append(f"    li s11, {outer}")
+            out.append("__bench_entry:")
+            out.append(f"    li s10, {inner}")
+            out.append("__bench_inner:")
+            entered = True
+            continue
+        if entered and not terminated and line.strip() == "ecall":
+            out.append("    addi s10, s10, -1")
+            out.append("    bnez s10, __bench_inner")
+            out.append("    addi s11, s11, -1")
+            out.append("    bnez s11, __bench_entry")
+            out.append("    ecall")
+            terminated = True
+            continue
+        out.append(line)
+    if not (entered and terminated):
+        raise ValueError("kernel source missing .text or ecall")
+    return "\n".join(out)
+
+
+def _build_registry() -> Dict[str, Workload]:
+    kernels = [
+        ("crc32", "int", "bitwise CRC-32 over 64 bytes", CRC32_SOURCE),
+        ("matmult", "int", "4x4 integer matrix multiply", MATMULT_SOURCE),
+        ("matmult_hw", "int", "4x4 matrix multiply via RV32M mul", MATMULT_HW_SOURCE),
+        ("bitcount", "int", "population counts, three ways", BITCOUNT_SOURCE),
+        ("primecount", "int", "sieve of Eratosthenes < 400", PRIMECOUNT_SOURCE),
+        ("qsort", "int", "insertion sort of 32 words", QSORT_SOURCE),
+        ("fir", "fp", "4-tap FIR filter, binary16", _fir_source()),
+        ("edn", "fp", "dot product + saxpy, binary16", _edn_source()),
+        ("st", "fp", "mean/variance statistics, binary16", _st_source()),
+        ("nbody", "fp", "pairwise interactions, binary16", _nbody_source()),
+        ("minver", "fp", "3x3 matrix inversion, binary16", _minver_source()),
+    ]
+    return {
+        name: Workload(
+            name,
+            kind,
+            description,
+            _wrap_harness(source, HARNESS_OUTER[name]),
+        )
+        for name, kind, description, source in kernels
+    }
+
+
+WORKLOADS: Dict[str, Workload] = _build_registry()
+
+#: The paper's representative workload for Aging Analysis (§4).
+REPRESENTATIVE = "minver"

@@ -1,0 +1,50 @@
+"""Operand-stream capture for signal-probability profiling.
+
+Aging Analysis (§3.2.1) simulates the netlist under representative
+workloads.  Here the workload runs once on the ISA simulator with
+operand logging enabled; the recorded per-operation input vectors are
+then replayed — bit-parallel — through the gate-level netlist by
+:func:`repro.sim.probes.profile_operand_stream`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..cpu.asm import assemble
+from ..cpu.cpu import Cpu, GoldenAlu, GoldenFpu, GoldenMdu
+from .programs import REPRESENTATIVE, WORKLOADS
+
+
+def collect_operand_streams(
+    names: Sequence[str] = (REPRESENTATIVE,),
+    max_ops_per_unit: int = 20_000,
+) -> Tuple[List[Dict[str, int]], List[Dict[str, int]]]:
+    """Run workloads and capture (alu_stream, fpu_stream).
+
+    Each stream entry maps the unit's input-port names to the values of
+    one dynamic operation, ready for bit-parallel SP profiling.
+    """
+    streams = collect_unit_streams(names, max_ops_per_unit)
+    return streams["alu"], streams["fpu"]
+
+
+def collect_unit_streams(
+    names: Sequence[str] = (REPRESENTATIVE,),
+    max_ops_per_unit: int = 20_000,
+) -> Dict[str, List[Dict[str, int]]]:
+    """Operand streams for all three units: alu, fpu, and mdu."""
+    alu = GoldenAlu()
+    fpu = GoldenFpu()
+    mdu = GoldenMdu()
+    for backend in (alu, fpu, mdu):
+        backend.log_operands = True
+    for name in names:
+        workload = WORKLOADS[name]
+        cpu = Cpu(assemble(workload.source), alu=alu, fpu=fpu, mdu=mdu)
+        cpu.run()
+    return {
+        "alu": alu.operand_log[:max_ops_per_unit],
+        "fpu": fpu.operand_log[:max_ops_per_unit],
+        "mdu": mdu.operand_log[:max_ops_per_unit],
+    }

@@ -1,0 +1,21 @@
+"""Shared fixtures: cell library, the paper's example adder, RTL helpers."""
+
+import pytest
+
+from repro.core.example import build_paper_adder, make_paper_library
+from repro.netlist.cells import make_vega28_library
+
+
+@pytest.fixture
+def vega28():
+    return make_vega28_library()
+
+
+@pytest.fixture
+def paper_lib():
+    return make_paper_library()
+
+
+@pytest.fixture
+def paper_adder():
+    return build_paper_adder()

@@ -1,0 +1,206 @@
+"""Tests for the BTI reaction-diffusion model and aging characterization."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aging.bti import (
+    DEFAULT_BTI,
+    BtiParameters,
+    cell_delta_vth,
+    delay_factor,
+    delta_vth,
+    recovery_fraction,
+    SECONDS_PER_YEAR,
+)
+from repro.aging.charlib import AgingTimingLibrary, degradation_curve
+from repro.aging.corners import TYPICAL_CORNER, WORST_CORNER
+
+YEARS_10 = 10 * SECONDS_PER_YEAR
+
+
+class TestReactionDiffusion:
+    def test_zero_time_zero_shift(self):
+        assert delta_vth(0.0, 1.0, 105.0) == 0.0
+
+    def test_zero_duty_zero_shift(self):
+        assert delta_vth(YEARS_10, 0.0, 105.0) == 0.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            delta_vth(-1.0, 0.5, 105.0)
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(ValueError):
+            delta_vth(1.0, 1.5, 105.0)
+
+    def test_front_loading_seventy_percent_in_first_year(self):
+        """§2.3.3: ~70% of the 10-year Vth degradation occurs in year 1."""
+        one_year = delta_vth(SECONDS_PER_YEAR, 1.0, 105.0)
+        ten_years = delta_vth(YEARS_10, 1.0, 105.0)
+        ratio = one_year / ten_years
+        assert ratio == pytest.approx(0.1 ** (1 / 6), rel=1e-9)
+        assert 0.65 < ratio < 0.72
+
+    def test_hotter_ages_faster(self):
+        cold = delta_vth(YEARS_10, 1.0, 25.0)
+        hot = delta_vth(YEARS_10, 1.0, 105.0)
+        assert hot > cold
+
+    @given(
+        duty=st.floats(min_value=0.01, max_value=1.0),
+        years=st.floats(min_value=0.1, max_value=20.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_duty_and_time(self, duty, years):
+        base = delta_vth(years * SECONDS_PER_YEAR, duty, 105.0)
+        more_stress = delta_vth(years * SECONDS_PER_YEAR, min(1.0, duty * 1.5), 105.0)
+        longer = delta_vth(years * 1.5 * SECONDS_PER_YEAR, duty, 105.0)
+        assert more_stress >= base
+        assert longer >= base
+
+    def test_magnitude_calibration(self):
+        """Full stress for 10y at 105C lands near 26 mV (library fit)."""
+        shift = delta_vth(YEARS_10, 1.0, 105.0)
+        assert 0.020 < shift < 0.032
+
+
+class TestCellDeltaVth:
+    def test_idle_at_zero_ages_fastest(self):
+        """§2.3.1: gates idling at '0' age faster than gates at '1'."""
+        at_zero = cell_delta_vth(0.0, 10, 105.0)
+        toggling = cell_delta_vth(0.5, 10, 105.0)
+        at_one = cell_delta_vth(1.0, 10, 105.0)
+        assert at_zero > toggling > at_one
+        assert at_one > 0  # n-type PBTI still contributes
+
+    def test_stress_state_flips_asymmetry(self):
+        normal = cell_delta_vth(0.1, 10, 105.0, stress_state=0)
+        flipped = cell_delta_vth(0.9, 10, 105.0, stress_state=1)
+        assert normal == pytest.approx(flipped)
+
+    def test_sp_out_of_range(self):
+        with pytest.raises(ValueError):
+            cell_delta_vth(1.1, 10, 105.0)
+
+    @given(sp=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_near_extremes(self, sp):
+        # Parked-at-1 is the floor; the ceiling sits within a few percent
+        # of parked-at-0 (a barely-toggling cell adds a sliver of PBTI).
+        value = cell_delta_vth(sp, 10, 105.0)
+        low = cell_delta_vth(1.0, 10, 105.0)
+        high = cell_delta_vth(0.0, 10, 105.0)
+        assert low <= value + 1e-12
+        assert value <= high * 1.05
+
+    @given(
+        sp1=st.floats(min_value=0.1, max_value=1.0),
+        sp2=st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_decreasing_above_sp_0_1(self, sp1, sp2):
+        lo, hi = sorted((sp1, sp2))
+        assert cell_delta_vth(hi, 10, 105.0) <= cell_delta_vth(lo, 10, 105.0) + 1e-12
+
+
+class TestDelayFactor:
+    def test_zero_shift_is_unity(self):
+        assert delay_factor(0.0, 0.9, 0.35, 1.3) == pytest.approx(1.0)
+
+    def test_monotone_in_shift(self):
+        f1 = delay_factor(0.01, 0.9, 0.35, 1.3)
+        f2 = delay_factor(0.02, 0.9, 0.35, 1.3)
+        assert 1.0 < f1 < f2
+
+    def test_excessive_shift_rejected(self):
+        with pytest.raises(ValueError):
+            delay_factor(0.6, 0.9, 0.35, 1.3)
+
+
+class TestRecovery:
+    def test_no_recovery_without_rest(self):
+        assert recovery_fraction(100.0, 0.0) == 0.0
+
+    def test_recovery_bounded_at_half(self):
+        assert recovery_fraction(1.0, 1e12) <= 0.5
+
+    def test_recovery_grows_with_rest(self):
+        a = recovery_fraction(100.0, 10.0)
+        b = recovery_fraction(100.0, 1000.0)
+        assert b > a
+
+
+class TestAgingTimingLibrary:
+    def test_characterize_covers_library(self, vega28):
+        lib = AgingTimingLibrary.characterize(vega28)
+        assert set(lib.tables) == set(c.name for c in vega28)
+
+    def test_low_sp_degrades_more(self, vega28):
+        lib = AgingTimingLibrary.characterize(vega28)
+        assert lib.delay_factor("XOR2", 0.1) > lib.delay_factor("XOR2", 0.9)
+
+    def test_factor_range_matches_figure8(self, vega28):
+        """Worst cells around +6%, best (parked at 1) around +1-2%."""
+        lib = AgingTimingLibrary.characterize(vega28)
+        worst = lib.delay_factor("XOR2", 0.0) - 1.0
+        best = lib.delay_factor("XOR2", 1.0) - 1.0
+        assert 0.05 < worst < 0.08
+        assert 0.005 < best < 0.025
+
+    def test_interpolation_between_grid_points(self, vega28):
+        lib = AgingTimingLibrary.characterize(vega28, sp_grid=(0.0, 1.0))
+        mid = lib.delay_factor("AND2", 0.5)
+        lo = lib.delay_factor("AND2", 0.0)
+        hi = lib.delay_factor("AND2", 1.0)
+        assert mid == pytest.approx((lo + hi) / 2)
+
+    def test_unknown_cell_raises(self, vega28):
+        lib = AgingTimingLibrary.characterize(vega28)
+        with pytest.raises(KeyError):
+            lib.delay_factor("NOPE", 0.5)
+
+    def test_aged_delays_scale_both_bounds(self, vega28):
+        lib = AgingTimingLibrary.characterize(vega28)
+        cell = vega28["XOR2"]
+        tmin, tmax = lib.aged_delays(cell, 0.2)
+        factor = lib.delay_factor("XOR2", 0.2)
+        assert tmin == pytest.approx(cell.tmin * factor)
+        assert tmax == pytest.approx(cell.tmax * factor)
+
+    def test_shorter_lifetime_less_aging(self, vega28):
+        lib1 = AgingTimingLibrary.characterize(vega28, lifetime_years=1.0)
+        lib10 = AgingTimingLibrary.characterize(vega28, lifetime_years=10.0)
+        assert lib1.delay_factor("INV", 0.2) < lib10.delay_factor("INV", 0.2)
+
+
+class TestDegradationCurve:
+    """The Figure 4 regeneration: XOR2 delay degradation vs SP and time."""
+
+    def test_curves_ordered_by_sp(self, vega28):
+        years = [1, 2, 5, 10]
+        low = degradation_curve(vega28["XOR2"], vega28, 0.1, years)
+        high = degradation_curve(vega28["XOR2"], vega28, 0.9, years)
+        assert all(l > h for l, h in zip(low, high))
+
+    def test_curve_monotone_in_time(self, vega28):
+        years = [0.5, 1, 2, 5, 10]
+        curve = degradation_curve(vega28["XOR2"], vega28, 0.25, years)
+        assert curve == sorted(curve)
+
+    def test_curve_concave_front_loaded(self, vega28):
+        """Most degradation lands early (t^(1/6) shape)."""
+        curve = degradation_curve(vega28["XOR2"], vega28, 0.25, [1.0, 10.0])
+        assert curve[0] > 0.6 * curve[1]
+
+
+class TestCorners:
+    def test_worst_corner_pessimism(self):
+        assert WORST_CORNER.scale_max_delay(1.0) > 1.0
+        assert WORST_CORNER.scale_min_delay(1.0) < 1.0
+
+    def test_typical_corner_identity(self):
+        assert TYPICAL_CORNER.scale_max_delay(1.0) == 1.0
+        assert TYPICAL_CORNER.scale_min_delay(1.0) == 1.0

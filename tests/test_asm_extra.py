@@ -1,0 +1,170 @@
+"""Extra assembler coverage: directives, relocations, pseudo-ops."""
+
+import pytest
+
+from repro.cpu.asm import AsmError, DATA_BASE, assemble
+from repro.cpu.cpu import run_program
+
+
+class TestDirectives:
+    def test_half_and_align(self):
+        program = assemble(
+            """
+            .data
+            h: .half 1, 2, 3
+            .align 2
+            w: .word 0xAABBCCDD
+            .text
+            la t0, w
+            lw a0, 0(t0)
+            ecall
+            """
+        )
+        # Three halves = 6 bytes, aligned to 8 for the word.
+        assert program.symbols["w"] == DATA_BASE + 8
+        assert run_program(program).exit_value == 0xAABBCCDD
+
+    def test_space_zero_filled(self):
+        result = run_program(
+            """
+            .data
+            buf: .space 8
+            .text
+            la t0, buf
+            lw a0, 4(t0)
+            ecall
+            """
+        )
+        assert result.exit_value == 0
+
+    def test_char_literals(self):
+        program = assemble(".data\nc: .byte 'A', '\\n'\n.text\necall")
+        assert program.data[0] == ord("A")
+        assert program.data[1] == ord("\n")
+
+    def test_globl_ignored(self):
+        program = assemble(".globl main\nmain:\necall")
+        assert program.symbols["main"] == 0
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AsmError, match="directive"):
+            assemble(".frobnicate 3\necall")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AsmError, match="outside"):
+            assemble(".data\nadd a0, a0, a0")
+
+
+class TestRelocations:
+    def test_hi_lo_compose_any_address(self):
+        result = run_program(
+            """
+            .data
+            pad: .space 2044
+            v:   .word 77
+            .text
+            lui t0, %hi(v)
+            lw a0, %lo(v)(t0)
+            ecall
+            """
+        )
+        assert result.exit_value == 77
+
+    def test_hi_rounds_for_negative_lo(self):
+        # Place the word so %lo is negative (address & 0xfff >= 0x800).
+        result = run_program(
+            """
+            .data
+            pad: .space 2128
+            v:   .word 123
+            .text
+            lui t0, %hi(v)
+            lw a0, %lo(v)(t0)
+            ecall
+            """
+        )
+        assert result.exit_value == 123
+
+    def test_reloc_offset_arithmetic(self):
+        result = run_program(
+            """
+            .data
+            arr: .word 10, 20, 30
+            .text
+            lui t0, %hi(arr+8)
+            lw a0, %lo(arr+8)(t0)
+            ecall
+            """
+        )
+        assert result.exit_value == 30
+
+    def test_lo_in_addi_immediate(self):
+        result = run_program(
+            """
+            .data
+            v: .word 5
+            .text
+            lui t0, %hi(v)
+            addi t0, t0, %lo(v)
+            lw a0, 0(t0)
+            ecall
+            """
+        )
+        assert result.exit_value == 5
+
+
+class TestPseudoOps:
+    @pytest.mark.parametrize(
+        "body,expected",
+        [
+            ("li a0, 1\nnot a0, a0", 0xFFFFFFFE),
+            ("li a1, 7\nneg a0, a1", (-7) & 0xFFFFFFFF),
+            ("li a1, 3\nmv a0, a1", 3),
+        ],
+    )
+    def test_arith_pseudos(self, body, expected):
+        assert run_program(body + "\necall").exit_value == expected
+
+    def test_branch_pseudos(self):
+        result = run_program(
+            """
+                li a0, 0
+                li t0, 5
+                li t1, 3
+                bgt t0, t1, took_bgt
+                ecall
+            took_bgt:
+                addi a0, a0, 1
+                ble t1, t0, took_ble
+                ecall
+            took_ble:
+                addi a0, a0, 1
+                bgtu t0, t1, took_bgtu
+                ecall
+            took_bgtu:
+                addi a0, a0, 1
+                bleu t1, t0, took_bleu
+                ecall
+            took_bleu:
+                addi a0, a0, 1
+                ecall
+            """
+        )
+        assert result.exit_value == 4
+
+    def test_multiple_labels_one_line(self):
+        program = assemble("a: b: c: ecall")
+        assert (
+            program.symbols["a"]
+            == program.symbols["b"]
+            == program.symbols["c"]
+            == 0
+        )
+
+    def test_li_negative(self):
+        assert run_program("li a0, -5\necall").exit_value == 0xFFFFFFFB
+
+    def test_li_large_value_with_carry_rounding(self):
+        # Values whose low 12 bits >= 0x800 need the lui +1 adjustment.
+        value = 0x12345FFF
+        assert run_program(f"li a0, {value}\necall").exit_value == value

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_workloads_lists_all(self):
+        code, text = _run(["workloads"])
+        assert code == 0
+        assert text.count("\n") == 11
+        assert "minver" in text and "crc32" in text and "matmult_hw" in text
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sta_alu(self):
+        code, text = _run(["sta", "--unit", "alu"])
+        assert code == 0
+        assert "fresh violations: 0" in text
+        assert "aged setup:" in text
+        assert "~>" in text
+
+    def test_inject_emits_verilog(self, tmp_path):
+        out_file = tmp_path / "failing.v"
+        code, text = _run(
+            [
+                "inject",
+                "--unit", "alu",
+                "--start", "a_q_r0",
+                "--end", "res_q_r1",
+                "--c", "1",
+                "-o", str(out_file),
+            ]
+        )
+        assert code == 0
+        verilog = out_file.read_text()
+        assert "module alu__fail" in verilog
+        assert "MUX2" in verilog
+
+    def test_suite_asm_artifact(self, tmp_path):
+        out_file = tmp_path / "suite.s"
+        code, _ = _run(
+            ["suite", "--unit", "alu", "--format", "asm", "-o", str(out_file)]
+        )
+        assert code == 0
+        asm = out_file.read_text()
+        assert "ecall" in asm
+        # The suite must assemble and pass on the golden backend.
+        from repro.cpu.cpu import run_program
+
+        result = run_program(asm)
+        assert result.exit_value == 0
+
+    def test_integrate_reports_overhead(self):
+        code, text = _run(["integrate", "--workload", "minver", "--units", "alu"])
+        assert code == 0
+        assert "measured overhead" in text
+        assert "result preserved: True" in text
+
+    def test_models_exports_library(self, tmp_path):
+        out_dir = tmp_path / "models"
+        code, text = _run(["models", "--unit", "alu", "-o", str(out_dir)])
+        assert code == 0
+        import json
+
+        index = json.loads((out_dir / "index.json").read_text())
+        assert index["unit"] == "alu"
+        assert index["models"]
+        for entry in index["models"]:
+            assert (out_dir / entry["file"]).exists()
+        # Suite artifacts came along.
+        assert any(p.suffix == ".c" for p in out_dir.iterdir())
+
+    def test_verify_alu_roundtrip_and_optimizer(self):
+        code, text = _run(["verify", "--unit", "alu", "--depth", "2"])
+        assert code == 0
+        assert "round-trip equivalent: True" in text
+        assert "optimizer" in text

@@ -1,0 +1,255 @@
+"""Binary encoding round-trip tests (plus RISC-V golden encodings)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.asm import assemble
+from repro.cpu.encoding import (
+    DecodeError,
+    EncodeError,
+    decode,
+    encode,
+    encode_program,
+)
+from repro.cpu.isa import Instruction
+from repro.workloads import WORKLOADS
+
+reg = st.integers(min_value=0, max_value=31)
+imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+class TestGoldenEncodings:
+    """Spot checks against the RISC-V spec's reference encodings."""
+
+    @pytest.mark.parametrize(
+        "instr,expected",
+        [
+            # add x1, x2, x3 = 0x003100b3
+            (Instruction("add", rd=1, rs1=2, rs2=3), 0x003100B3),
+            # sub x5, x6, x7 = 0x407302b3
+            (Instruction("sub", rd=5, rs1=6, rs2=7), 0x407302B3),
+            # addi x1, x2, -1 = 0xfff10093
+            (Instruction("addi", rd=1, rs1=2, imm=-1), 0xFFF10093),
+            # lw x4, 16(x5) = 0x0102a203
+            (Instruction("lw", rd=4, rs1=5, imm=16), 0x0102A203),
+            # sw x6, 8(x7) = 0x0063a423
+            (Instruction("sw", rs2=6, rs1=7, imm=8), 0x0063A423),
+            # lui x10, 0x12345 = 0x12345537
+            (Instruction("lui", rd=10, imm=0x12345), 0x12345537),
+            # jalr x0, 0(x1) = 0x00008067 (ret)
+            (Instruction("jalr", rd=0, rs1=1, imm=0), 0x00008067),
+            # ecall = 0x00000073
+            (Instruction("ecall"), 0x00000073),
+        ],
+    )
+    def test_matches_spec(self, instr, expected):
+        assert encode(instr) == expected
+
+    def test_branch_offset_encoding(self):
+        # beq x1, x2, +8 from pc 0 = 0x00208463
+        instr = Instruction("beq", rs1=1, rs2=2, target=8)
+        assert encode(instr, pc=0) == 0x00208463
+
+    def test_jal_offset_encoding(self):
+        # jal x1, +16 from pc 0 = 0x010000ef
+        instr = Instruction("jal", rd=1, target=16)
+        assert encode(instr, pc=0) == 0x010000EF
+
+
+class TestRoundTrip:
+    @given(rd=reg, rs1=reg, rs2=reg)
+    @settings(max_examples=30, deadline=None)
+    def test_r_type(self, rd, rs1, rs2):
+        for name in ("add", "sub", "xor", "sll", "sra", "and"):
+            instr = Instruction(name, rd=rd, rs1=rs1, rs2=rs2)
+            back = decode(encode(instr))
+            assert (back.mnemonic, back.rd, back.rs1, back.rs2) == (
+                name, rd, rs1, rs2,
+            )
+
+    @given(rd=reg, rs1=reg, imm=imm12)
+    @settings(max_examples=30, deadline=None)
+    def test_i_and_memory(self, rd, rs1, imm):
+        for name in ("addi", "xori", "lw", "lb", "lhu"):
+            instr = Instruction(name, rd=rd, rs1=rs1, imm=imm)
+            back = decode(encode(instr))
+            assert (back.mnemonic, back.rd, back.rs1, back.imm) == (
+                name, rd, rs1, imm,
+            )
+
+    @given(rs1=reg, rs2=reg, imm=imm12)
+    @settings(max_examples=30, deadline=None)
+    def test_stores(self, rs1, rs2, imm):
+        for name in ("sw", "sh", "sb"):
+            instr = Instruction(name, rs1=rs1, rs2=rs2, imm=imm)
+            back = decode(encode(instr))
+            assert (back.mnemonic, back.rs1, back.rs2, back.imm) == (
+                name, rs1, rs2, imm,
+            )
+
+    @given(
+        rs1=reg,
+        rs2=reg,
+        offset=st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2),
+        pc=st.integers(min_value=0, max_value=1 << 20).map(lambda v: v * 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_branches(self, rs1, rs2, offset, pc):
+        instr = Instruction("bne", rs1=rs1, rs2=rs2, target=pc + offset)
+        back = decode(encode(instr, pc=pc), pc=pc)
+        assert back.target == pc + offset
+
+    @given(fd=reg, fs1=reg, fs2=reg)
+    @settings(max_examples=30, deadline=None)
+    def test_fp_ops(self, fd, fs1, fs2):
+        for name in ("fadd.h", "fsub.h", "fmul.h", "fmin.h", "fmax.h"):
+            instr = Instruction(name, fd=fd, fs1=fs1, fs2=fs2)
+            back = decode(encode(instr))
+            assert (back.mnemonic, back.fd, back.fs1, back.fs2) == (
+                name, fd, fs1, fs2,
+            )
+
+    @given(rd=reg, fs1=reg, fs2=reg)
+    @settings(max_examples=30, deadline=None)
+    def test_fp_compares(self, rd, fs1, fs2):
+        for name in ("feq.h", "flt.h", "fle.h"):
+            instr = Instruction(name, rd=rd, fs1=fs1, fs2=fs2)
+            back = decode(encode(instr))
+            assert (back.mnemonic, back.rd, back.fs1, back.fs2) == (
+                name, rd, fs1, fs2,
+            )
+
+    def test_system_instructions(self):
+        for name, fields in (
+            ("ecall", {}),
+            ("frflags", {"rd": 7}),
+            ("fsflags", {"rs1": 9}),
+        ):
+            instr = Instruction(name, **fields)
+            back = decode(encode(instr))
+            assert back.mnemonic == name
+
+
+class TestWholePrograms:
+    @pytest.mark.parametrize("name", ["crc32", "minver", "qsort"])
+    def test_workload_encodes_and_decodes(self, name):
+        program = assemble(WORKLOADS[name].source)
+        words = encode_program(program.instructions)
+        assert len(words) == program.size
+        assert all(0 <= w < (1 << 32) for w in words)
+        for index, word in enumerate(words):
+            back = decode(word, pc=4 * index)
+            original = program.instructions[index]
+            assert back.mnemonic == original.mnemonic
+            if original.target is not None:
+                assert back.target == original.target
+
+    def test_decoded_program_executes_identically(self):
+        from repro.cpu.asm import Program
+        from repro.cpu.cpu import Cpu, run_program
+
+        program = assemble(WORKLOADS["crc32"].source)
+        words = encode_program(program.instructions)
+        redecoded = Program(
+            instructions=[
+                decode(word, pc=4 * i) for i, word in enumerate(words)
+            ],
+            data=program.data,
+            symbols=program.symbols,
+            leaders=program.leaders,
+        )
+        baseline = run_program(program)
+        replay = Cpu(redecoded).run()
+        assert replay.exit_value == baseline.exit_value
+        assert replay.instructions == baseline.instructions
+
+
+class TestErrors:
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodeError, match="range"):
+            encode(Instruction("addi", rd=1, rs1=1, imm=5000))
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(0xFFFFFFFF)
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(DecodeError, match="opcode"):
+            decode(0x0000007B)
+
+
+class TestDisassembler:
+    """render/assemble/encode/decode round trips."""
+
+    def test_render_assemble_roundtrip_workload(self):
+        from repro.cpu.disasm import render_instruction
+        from repro.cpu.asm import assemble as asm2
+
+        program = assemble(WORKLOADS["qsort"].source)
+        rendered = "\n".join(
+            render_instruction(i) for i in program.instructions
+        )
+        reparsed = asm2(rendered)
+        assert reparsed.size == program.size
+        for a, b in zip(program.instructions, reparsed.instructions):
+            assert a.mnemonic == b.mnemonic
+            assert (a.rd, a.rs1, a.rs2, a.fd, a.fs1, a.fs2) == (
+                b.rd, b.rs1, b.rs2, b.fd, b.fs1, b.fs2,
+            )
+            assert a.imm == b.imm
+            assert a.target == b.target
+
+    def test_rendered_program_executes_identically(self):
+        from repro.cpu.asm import Program
+        from repro.cpu.cpu import Cpu, run_program
+        from repro.cpu.disasm import render_instruction
+
+        program = assemble(WORKLOADS["bitcount"].source)
+        rendered = "\n".join(
+            render_instruction(i) for i in program.instructions
+        )
+        replay = assemble(rendered)
+        replay.data = program.data
+        baseline = run_program(program)
+        again = Cpu(replay).run()
+        assert again.exit_value == baseline.exit_value
+
+    def test_disassemble_listing(self):
+        from repro.cpu.disasm import disassemble
+        from repro.cpu.encoding import encode_program
+
+        program = assemble("li a0, 7\nadd a0, a0, a0\necall")
+        words = encode_program(program.instructions)
+        listing = disassemble(words)
+        assert "add x10, x10, x10" in listing
+        assert "ecall" in listing
+        assert listing.count("\n") == len(words) - 1
+
+    def test_undecodable_word_marked(self):
+        from repro.cpu.disasm import disassemble
+
+        listing = disassemble([0xFFFFFFFF])
+        assert "undecodable" in listing
+
+    @given(
+        rd=reg, rs1=reg, rs2=reg,
+        imm=st.integers(min_value=-2048, max_value=2047),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_render_assemble_property(self, rd, rs1, rs2, imm):
+        from repro.cpu.disasm import render_instruction
+
+        for instr in (
+            Instruction("xor", rd=rd, rs1=rs1, rs2=rs2),
+            Instruction("mulhu", rd=rd, rs1=rs1, rs2=rs2),
+            Instruction("addi", rd=rd, rs1=rs1, imm=imm),
+            Instruction("lw", rd=rd, rs1=rs1, imm=imm),
+            Instruction("sw", rs1=rs1, rs2=rs2, imm=imm),
+        ):
+            text = render_instruction(instr) + "\necall"
+            back = assemble(text).instructions[0]
+            assert back.mnemonic == instr.mnemonic
+            assert (back.rd, back.rs1, back.rs2, back.imm) == (
+                instr.rd, instr.rs1, instr.rs2, instr.imm,
+            )

@@ -1,0 +1,179 @@
+"""Tests for the §6.3 extensions: fuzz lifting, EM, and IR drop."""
+
+import random
+
+import pytest
+
+from repro.aging.em import (
+    EmParameters,
+    electromigration_analysis,
+    ir_drop_analysis,
+)
+from repro.core.example import build_paper_adder
+from repro.formal.bmc import BmcStatus, BoundedModelChecker, CoverObjective
+from repro.lifting.fuzz import FuzzTraceGenerator
+from repro.lifting.instrument import instrument_for_cover, make_failing_netlist
+from repro.lifting.models import CMode, FailureModel, ViolationKind
+from repro.formal.bmc import InputAssumption
+from repro.sim.gatesim import GateSimulator
+from repro.sim.probes import SPCounter, profile_activity
+
+SETUP_MODEL = FailureModel("d4", "d10", ViolationKind.SETUP, CMode.ONE)
+
+
+def _random_stimulus(count, seed=3):
+    rng = random.Random(seed)
+    return [{"a": rng.randrange(4), "b": rng.randrange(4)} for _ in range(count)]
+
+
+class TestFuzzTraceGenerator:
+    def test_finds_activating_trace(self, paper_adder):
+        instr = instrument_for_cover(paper_adder, SETUP_MODEL)
+        fuzzer = FuzzTraceGenerator(instr, seed=1)
+        result = fuzzer.search(max_trials=100, max_depth=5)
+        assert result.covered
+        assert result.trace is not None
+        assert result.trace.mismatch_nets == ["o[1]"]
+
+    def test_trace_replays_on_failing_netlist(self, paper_adder):
+        instr = instrument_for_cover(paper_adder, SETUP_MODEL)
+        fuzzer = FuzzTraceGenerator(instr, seed=2)
+        result = fuzzer.search(max_trials=100, max_depth=5)
+        failing = make_failing_netlist(paper_adder, SETUP_MODEL)
+        good = GateSimulator(paper_adder)
+        bad = GateSimulator(failing.netlist)
+        mismatch = False
+        for frame in result.trace.inputs:
+            if good.step(frame) != bad.step(frame):
+                mismatch = True
+        assert mismatch
+
+    def test_respects_assumptions(self, paper_adder):
+        instr = instrument_for_cover(paper_adder, SETUP_MODEL)
+        fuzzer = FuzzTraceGenerator(
+            instr,
+            assumptions=[InputAssumption("a", [1, 3])],
+            seed=4,
+        )
+        result = fuzzer.search(max_trials=100, max_depth=5)
+        assert result.covered
+        for frame in result.trace.inputs:
+            assert frame["a"] in (1, 3)
+
+    def test_cannot_prove_unreachability(self, paper_adder):
+        """Fuzzing an unactivatable fault just exhausts its budget."""
+        instr = instrument_for_cover(paper_adder, SETUP_MODEL)
+        # Freeze both inputs: the trigger (d4 toggling) can never fire.
+        fuzzer = FuzzTraceGenerator(
+            instr,
+            assumptions=[
+                InputAssumption.fixed("a", 0),
+                InputAssumption.fixed("b", 0),
+            ],
+            seed=5,
+        )
+        result = fuzzer.search(max_trials=30, max_depth=4)
+        assert not result.covered
+        assert result.trials == 30
+        # The BMC, by contrast, *proves* it.
+        bmc = BoundedModelChecker(
+            instr.netlist,
+            assumptions=[
+                InputAssumption.fixed("a", 0),
+                InputAssumption.fixed("b", 0),
+            ],
+        )
+        formal = bmc.cover(
+            CoverObjective(differ=instr.output_pairs), max_depth=4
+        )
+        assert formal.status is BmcStatus.UNREACHABLE
+
+    def test_agrees_with_bmc_on_coverable_fault(self, paper_adder):
+        instr = instrument_for_cover(paper_adder, SETUP_MODEL)
+        bmc = BoundedModelChecker(instr.netlist)
+        formal = bmc.cover(
+            CoverObjective(differ=instr.output_pairs), max_depth=4
+        )
+        fuzz = FuzzTraceGenerator(instr, seed=6).search(max_trials=200)
+        assert (formal.status is BmcStatus.COVERED) == fuzz.covered
+
+
+class TestActivityProfiling:
+    def test_toggle_rates_bounded(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(200))
+        assert all(0.0 <= r <= 1.0 for r in activity.toggle_rate.values())
+
+    def test_constant_inputs_no_toggles(self, paper_adder):
+        activity = profile_activity(paper_adder, [{"a": 2, "b": 1}] * 50)
+        # After the pipeline warms up only the first transitions count.
+        assert sum(activity.toggle_rate.values()) < 0.5
+
+    def test_alternating_inputs_toggle_every_cycle(self, paper_adder):
+        stim = [{"a": 3 * (i % 2), "b": 0} for i in range(100)]
+        activity = profile_activity(paper_adder, stim)
+        aq_net = paper_adder.instances["d1"].output_net.name
+        assert activity.toggle_rate[aq_net] > 0.9
+
+    def test_hottest_ranking(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(100))
+        ranked = activity.hottest(3)
+        rates = [rate for _, rate in ranked]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_counter_requires_toggle_mode(self, paper_adder):
+        counter = SPCounter(paper_adder, count_toggles=False)
+        sim = GateSimulator(paper_adder)
+        sim.step({"a": 0, "b": 0})
+        counter.sample(sim)
+        with pytest.raises(ValueError, match="toggle"):
+            counter.activity()
+
+
+class TestElectromigration:
+    def test_busier_nets_fail_sooner(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        report = electromigration_analysis(paper_adder, activity)
+        assert report.findings
+        mttfs = [f.mttf_years for f in report.findings]
+        assert mttfs == sorted(mttfs)
+        worst = report.findings[0]
+        best = report.findings[-1]
+        assert worst.current_density >= best.current_density
+
+    def test_hotter_fails_sooner(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        hot = electromigration_analysis(paper_adder, activity, 125.0)
+        cold = electromigration_analysis(paper_adder, activity, 85.0)
+        assert hot.findings[0].mttf_years < cold.findings[0].mttf_years
+
+    def test_lifetime_filter(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        report = electromigration_analysis(paper_adder, activity)
+        risky = report.below_lifetime(10.0)
+        assert all(f.mttf_years < 10.0 for f in risky)
+
+    def test_calibration_decade_scale(self, paper_adder):
+        """A fully-toggling fanout-1 net lasts decades, not hours."""
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        report = electromigration_analysis(paper_adder, activity)
+        assert 1.0 < report.findings[0].mttf_years < 10_000.0
+
+
+class TestIrDrop:
+    def test_peak_at_least_average(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        report = ir_drop_analysis(paper_adder, activity)
+        assert report.peak_demand >= report.average_demand > 0
+
+    def test_hotspots_sorted(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        report = ir_drop_analysis(paper_adder, activity)
+        weights = [w for _, w in report.hotspots]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_budget_verdict(self, paper_adder):
+        activity = profile_activity(paper_adder, _random_stimulus(300))
+        generous = ir_drop_analysis(paper_adder, activity, budget_fraction=10.0)
+        stingy = ir_drop_analysis(paper_adder, activity, budget_fraction=1e-6)
+        assert not generous.violated
+        assert stingy.violated

@@ -1,0 +1,199 @@
+"""Tests for the software binary16 model, cross-checked against numpy."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import float16 as f16
+
+bits16 = st.integers(min_value=0, max_value=0xFFFF)
+
+SPECIALS = [
+    0x0000, 0x8000,  # +/- zero
+    0x7C00, 0xFC00,  # +/- inf
+    0x7E00,          # canonical quiet NaN
+    0x7D01,          # signaling NaN
+    0x0001, 0x8001,  # smallest subnormals
+    0x03FF,          # largest subnormal
+    0x0400,          # smallest normal
+    0x7BFF, 0xFBFF,  # +/- max finite
+    0x3C00, 0xBC00,  # +/- 1.0
+]
+
+
+def _np(op, a, b):
+    fa = np.uint16(a).view(np.float16)
+    fb = np.uint16(b).view(np.float16)
+    with np.errstate(all="ignore"):
+        if op == "add":
+            r = np.float16(fa + fb)
+        elif op == "sub":
+            r = np.float16(fa - fb)
+        else:
+            r = np.float16(fa * fb)
+    return int(r.view(np.uint16))
+
+
+class TestArithmeticVsNumpy:
+    @given(a=bits16, b=bits16)
+    @settings(max_examples=400, deadline=None)
+    def test_add_matches_numpy(self, a, b):
+        mine, _ = f16.fp16_add(a, b)
+        ref = _np("add", a, b)
+        if f16.is_nan(mine) and f16.is_nan(ref):
+            return
+        assert mine == ref
+
+    @given(a=bits16, b=bits16)
+    @settings(max_examples=400, deadline=None)
+    def test_sub_matches_numpy(self, a, b):
+        mine, _ = f16.fp16_add(a, b, subtract=True)
+        ref = _np("sub", a, b)
+        if f16.is_nan(mine) and f16.is_nan(ref):
+            return
+        assert mine == ref
+
+    @given(a=bits16, b=bits16)
+    @settings(max_examples=400, deadline=None)
+    def test_mul_matches_numpy(self, a, b):
+        mine, _ = f16.fp16_mul(a, b)
+        ref = _np("mul", a, b)
+        if f16.is_nan(mine) and f16.is_nan(ref):
+            return
+        assert mine == ref
+
+    @pytest.mark.parametrize("a", SPECIALS)
+    @pytest.mark.parametrize("b", SPECIALS)
+    def test_specials_cross_product(self, a, b):
+        for op, fn in [
+            ("add", lambda: f16.fp16_add(a, b)),
+            ("sub", lambda: f16.fp16_add(a, b, subtract=True)),
+            ("mul", lambda: f16.fp16_mul(a, b)),
+        ]:
+            mine, _ = fn()
+            ref = _np(op, a, b)
+            if f16.is_nan(mine) and f16.is_nan(ref):
+                continue
+            assert mine == ref, f"{op}({a:#06x}, {b:#06x})"
+
+
+class TestFlags:
+    def test_overflow_sets_of_nx(self):
+        _, flags = f16.fp16_add(0x7BFF, 0x7BFF)  # max + max -> inf
+        assert flags & f16.FLAG_OF
+        assert flags & f16.FLAG_NX
+
+    def test_underflow_sets_uf_nx(self):
+        _, flags = f16.fp16_mul(0x0001, 0x0001)
+        assert flags & f16.FLAG_UF
+        assert flags & f16.FLAG_NX
+
+    def test_invalid_on_inf_minus_inf(self):
+        bits, flags = f16.fp16_add(0x7C00, 0xFC00)
+        assert f16.is_nan(bits)
+        assert flags & f16.FLAG_NV
+
+    def test_invalid_on_inf_times_zero(self):
+        bits, flags = f16.fp16_mul(0x7C00, 0x0000)
+        assert f16.is_nan(bits)
+        assert flags & f16.FLAG_NV
+
+    def test_exact_operations_raise_nothing(self):
+        _, flags = f16.fp16_add(0x3C00, 0x3C00)  # 1 + 1 = 2 exactly
+        assert flags == 0
+        _, flags = f16.fp16_mul(0x4000, 0x3800)  # 2 * 0.5 = 1 exactly
+        assert flags == 0
+
+    def test_signaling_nan_raises_nv(self):
+        _, flags = f16.fp16_add(0x7D01, 0x3C00)
+        assert flags & f16.FLAG_NV
+        _, flags = f16.fp16_eq(0x7D01, 0x3C00)
+        assert flags & f16.FLAG_NV
+
+    def test_quiet_nan_compare_quietly(self):
+        value, flags = f16.fp16_eq(0x7E00, 0x3C00)
+        assert value == 0 and flags == 0
+        value, flags = f16.fp16_lt(0x7E00, 0x3C00)
+        assert value == 0 and flags & f16.FLAG_NV  # lt is signaling
+
+
+class TestComparisons:
+    @given(a=bits16, b=bits16)
+    @settings(max_examples=300, deadline=None)
+    def test_compare_matches_python_floats(self, a, b):
+        fa, fb = f16.fp16_value(a), f16.fp16_value(b)
+        if math.isnan(fa) or math.isnan(fb):
+            assert f16.fp16_eq(a, b)[0] == 0
+            assert f16.fp16_lt(a, b)[0] == 0
+            assert f16.fp16_le(a, b)[0] == 0
+            return
+        assert f16.fp16_eq(a, b)[0] == int(fa == fb)
+        assert f16.fp16_lt(a, b)[0] == int(fa < fb)
+        assert f16.fp16_le(a, b)[0] == int(fa <= fb)
+
+    def test_zero_signs_compare_equal(self):
+        assert f16.fp16_eq(0x0000, 0x8000)[0] == 1
+        assert f16.fp16_lt(0x8000, 0x0000)[0] == 0
+        assert f16.fp16_le(0x8000, 0x0000)[0] == 1
+
+
+class TestMinMax:
+    def test_nan_yields_other_operand(self):
+        assert f16.fp16_min(0x7E00, 0x3C00)[0] == 0x3C00
+        assert f16.fp16_max(0x3C00, 0x7E00)[0] == 0x3C00
+
+    def test_both_nan_yields_canonical(self):
+        assert f16.fp16_min(0x7E00, 0x7F00)[0] == f16.CANONICAL_NAN
+
+    def test_negative_zero_ordering(self):
+        """RISC-V: min(+0,-0) = -0, max(-0,+0) = +0."""
+        assert f16.fp16_min(0x0000, 0x8000)[0] == 0x8000
+        assert f16.fp16_max(0x8000, 0x0000)[0] == 0x0000
+
+    @given(a=bits16, b=bits16)
+    @settings(max_examples=200, deadline=None)
+    def test_min_le_max(self, a, b):
+        lo, _ = f16.fp16_min(a, b)
+        hi, _ = f16.fp16_max(a, b)
+        if f16.is_nan(a) or f16.is_nan(b):
+            return
+        assert f16.fp16_le(lo, hi)[0] == 1
+
+
+class TestConversions:
+    @given(v=st.integers(min_value=-70000, max_value=70000))
+    @settings(max_examples=200, deadline=None)
+    def test_from_int_matches_numpy(self, v):
+        mine, _ = f16.fp16_from_int(v)
+        with np.errstate(all="ignore"):
+            import warnings
+
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                ref = int(np.float16(v).view(np.uint16))
+        assert mine == ref
+
+    @given(a=bits16)
+    @settings(max_examples=200, deadline=None)
+    def test_to_int_truncates_toward_zero(self, a):
+        value, flags = f16.fp16_to_int(a)
+        fa = f16.fp16_value(a)
+        if math.isnan(fa):
+            assert value == 0x7FFFFFFF and flags & f16.FLAG_NV
+            return
+        if math.isinf(fa):
+            assert flags & f16.FLAG_NV
+            return
+        expected = int(fa)  # Python truncates toward zero
+        signed = value - (1 << 32) if value >> 31 else value
+        assert signed == expected
+
+    def test_roundtrip_small_ints(self):
+        for v in range(-512, 513):
+            bits, _ = f16.fp16_from_int(v)
+            back, _ = f16.fp16_to_int(bits)
+            signed = back - (1 << 32) if back >> 31 else back
+            assert signed == v

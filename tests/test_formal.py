@@ -1,0 +1,449 @@
+"""Tests for the SAT solver, CNF encoder, and bounded model checker."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.example import build_paper_adder
+from repro.formal.bmc import (
+    BmcStatus,
+    BoundedModelChecker,
+    CoverObjective,
+    InputAssumption,
+    suggested_depth,
+)
+from repro.formal.encode import encode_in_set, encode_instance, encode_xor_var
+from repro.formal.sat import SatSolver, SatStatus
+from repro.netlist.cells import make_vega28_library
+from repro.netlist.netlist import Netlist
+from repro.rtl.signal import Module
+from repro.rtl.synth import synthesize
+from repro.sim.gatesim import GateSimulator
+
+
+class TestSatSolver:
+    def test_trivial_sat(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a])
+        r = s.solve()
+        assert r.status is SatStatus.SAT
+        assert r.model[a] is True
+
+    def test_trivial_unsat(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a])
+        assert s.solve().status is SatStatus.UNSAT
+
+    def test_empty_clause_unsat(self):
+        s = SatSolver()
+        s.new_var()
+        s.add_clause([])
+        assert s.solve().status is SatStatus.UNSAT
+
+    def test_tautology_ignored(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a, -a])
+        assert s.solve().status is SatStatus.SAT
+
+    def test_unknown_variable_rejected(self):
+        s = SatSolver()
+        with pytest.raises(ValueError):
+            s.add_clause([1])
+
+    def test_implication_chain(self):
+        s = SatSolver()
+        vs = [s.new_var() for _ in range(50)]
+        s.add_clause([vs[0]])
+        for a, b in zip(vs, vs[1:]):
+            s.add_clause([-a, b])
+        r = s.solve()
+        assert r.status is SatStatus.SAT
+        assert all(r.model[v] for v in vs)
+
+    def test_pigeonhole_unsat(self):
+        s = SatSolver()
+        pigeons, holes = 5, 4
+        v = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve().status is SatStatus.UNSAT
+
+    def test_conflict_budget_reports_unknown(self):
+        s = SatSolver()
+        pigeons, holes = 8, 7
+        v = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve(conflict_limit=5).status is SatStatus.UNKNOWN
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_3sat_agrees_with_bruteforce(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        nv = rng.randint(3, 8)
+        clauses = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, nv)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(nv, nv * 4))
+        ]
+
+        def brute():
+            for bits in itertools.product([False, True], repeat=nv):
+                if all(
+                    any(
+                        bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1]
+                        for l in c
+                    )
+                    for c in clauses
+                ):
+                    return True
+            return False
+
+        s = SatSolver()
+        for _ in range(nv):
+            s.new_var()
+        for c in clauses:
+            s.add_clause(c)
+        r = s.solve()
+        assert (r.status is SatStatus.SAT) == brute()
+        if r.status is SatStatus.SAT:
+            for c in clauses:
+                assert any(
+                    r.model[abs(l)] if l > 0 else not r.model[abs(l)]
+                    for l in c
+                )
+
+
+class TestEncoder:
+    @pytest.mark.parametrize(
+        "ctype", ["BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2"]
+    )
+    def test_gate_encodings_match_truth_tables(self, vega28, ctype):
+        cell = vega28[ctype]
+        arity = cell.num_inputs
+        for assignment in itertools.product([0, 1], repeat=arity):
+            s = SatSolver()
+            nl = Netlist("t", vega28)
+            in_nets = [nl.add_input_port(f"i{k}").bit(0) for k in range(arity)]
+            y = nl.add_net("y")
+            pins = {pin: net for pin, net in zip(cell.inputs, in_nets)}
+            pins[cell.output] = y
+            inst = nl.add_instance(ctype, pins)
+            var_of = {}
+            for net in in_nets + [y]:
+                var_of[net.name] = s.new_var()
+            encode_instance(s, inst, var_of)
+            for net, value in zip(in_nets, assignment):
+                s.add_clause([var_of[net.name] if value else -var_of[net.name]])
+            r = s.solve()
+            assert r.status is SatStatus.SAT
+            expected = cell.evaluate(assignment, 1)
+            assert r.model[var_of["y"]] == bool(expected)
+
+    def test_mux_encoding(self, vega28):
+        for a, b, sel in itertools.product([0, 1], repeat=3):
+            s = SatSolver()
+            nl = Netlist("t", vega28)
+            nets = {
+                "A": nl.add_input_port("a").bit(0),
+                "B": nl.add_input_port("b").bit(0),
+                "S": nl.add_input_port("s").bit(0),
+            }
+            y = nl.add_net("y")
+            inst = nl.add_instance("MUX2", {**nets, "Y": y})
+            var_of = {n.name: s.new_var() for n in nets.values()}
+            var_of["y"] = s.new_var()
+            encode_instance(s, inst, var_of)
+            for name, val in zip("abs", (a, b, sel)):
+                s.add_clause([var_of[name] if val else -var_of[name]])
+            r = s.solve()
+            assert r.model[var_of["y"]] == bool(b if sel else a)
+
+    def test_encode_in_set(self):
+        s = SatSolver()
+        bits = [s.new_var() for _ in range(4)]
+        encode_in_set(s, bits, [3, 7, 12])
+        # Forbid 3 and 7 -> model must be 12.
+        s.add_clause([-bits[0]])
+        r = s.solve()
+        assert r.status is SatStatus.SAT
+        value = sum((1 << i) for i, v in enumerate(bits) if r.model[v])
+        assert value == 12
+
+    def test_encode_in_set_empty_rejected(self):
+        s = SatSolver()
+        bits = [s.new_var()]
+        with pytest.raises(ValueError):
+            encode_in_set(s, bits, [])
+
+    def test_xor_var(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        d = encode_xor_var(s, a, b)
+        s.add_clause([a])
+        s.add_clause([-b])
+        r = s.solve()
+        assert r.model[d] is True
+
+
+class TestBmc:
+    def test_suggested_depth_paper_adder(self, paper_adder):
+        # Two pipeline stages -> depth 1 chain + 2 = 3 frames.
+        assert suggested_depth(paper_adder) == 3
+
+    def test_cover_finds_shortest_witness(self, paper_adder):
+        bmc = BoundedModelChecker(paper_adder)
+        result = bmc.cover(CoverObjective(asserted=["o[1]"]), max_depth=5)
+        assert result.status is BmcStatus.COVERED
+        # o[1] can first be 1 at the third frame (input, sum, register).
+        assert result.trace.depth == 3
+
+    def test_witness_replays_on_simulator(self, paper_adder):
+        bmc = BoundedModelChecker(paper_adder)
+        result = bmc.cover(CoverObjective(asserted=["o[1]"]), max_depth=5)
+        sim = GateSimulator(paper_adder)
+        outputs = {}
+        for frame in result.trace.inputs:
+            outputs = sim.step(frame)
+        assert (outputs["o"] >> 1) & 1 == 1
+
+    def test_assumption_makes_cover_unreachable(self, paper_adder):
+        bmc = BoundedModelChecker(
+            paper_adder,
+            assumptions=[
+                InputAssumption.fixed("a", 0),
+                InputAssumption.fixed("b", 0),
+            ],
+        )
+        result = bmc.cover(CoverObjective(asserted=["o[1]"]), max_depth=4)
+        assert result.status is BmcStatus.UNREACHABLE
+
+    def test_assumption_restricts_witness_values(self, paper_adder):
+        bmc = BoundedModelChecker(
+            paper_adder,
+            assumptions=[InputAssumption("a", [2]), InputAssumption("b", [0, 1])],
+        )
+        result = bmc.cover(CoverObjective(asserted=["o[1]"]), max_depth=5)
+        assert result.status is BmcStatus.COVERED
+        for frame in result.trace.inputs:
+            assert frame["a"] == 2
+            assert frame["b"] in (0, 1)
+
+    def test_differ_objective(self, paper_adder):
+        # o[0] != o[1] is reachable (e.g. sum = 1).
+        bmc = BoundedModelChecker(paper_adder)
+        result = bmc.cover(
+            CoverObjective(differ=[("o[0]", "o[1]")]), max_depth=5
+        )
+        assert result.status is BmcStatus.COVERED
+        sim = GateSimulator(paper_adder)
+        outputs = {}
+        for frame in result.trace.inputs:
+            outputs = sim.step(frame)
+        assert (outputs["o"] & 1) != ((outputs["o"] >> 1) & 1)
+
+    def test_budget_exceeded_reported(self):
+        # A multiplier equality with a tiny conflict budget must give up.
+        m = Module("mul")
+        a = m.input("a", 10)
+        b = m.input("b", 10)
+        m.output("p", a * b)
+        netlist = synthesize(m, make_vega28_library())
+        bmc = BoundedModelChecker(netlist, conflict_budget=3)
+        # Cover: all high bits of the product high at once (hard-ish).
+        objective = CoverObjective(
+            asserted_all=[f"p[{i}]" for i in range(12, 20)]
+        )
+        result = bmc.cover(objective, max_depth=1)
+        assert result.status in (
+            BmcStatus.BUDGET_EXCEEDED,
+            BmcStatus.COVERED,
+        )
+        if result.status is BmcStatus.COVERED:
+            # If it covered with 3 conflicts, the instance was easy;
+            # replay to be sure the witness is real.
+            sim = GateSimulator(netlist)
+            out = sim.evaluate(result.trace.inputs[0])
+            assert all((out["p"] >> i) & 1 for i in range(12, 20))
+
+    def test_trace_table_rendering(self, paper_adder):
+        bmc = BoundedModelChecker(paper_adder)
+        result = bmc.cover(
+            CoverObjective(asserted=["o[1]"]),
+            max_depth=5,
+            observe=["o[1]", "s1"],
+        )
+        table = result.trace.to_table()
+        assert "Cycle" in table
+        assert "a" in table.splitlines()[1] or "a" in table
+
+    def test_unknown_port_assumption_rejected(self, paper_adder):
+        with pytest.raises(ValueError):
+            BoundedModelChecker(
+                paper_adder, assumptions=[InputAssumption.fixed("zz", 0)]
+            )
+
+
+class TestBmcCrossValidation:
+    """Property: BMC witnesses always replay on the gate simulator."""
+
+    @given(target=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_cover_specific_sums(self, target):
+        adder = build_paper_adder()
+        bmc = BoundedModelChecker(adder)
+        # Build objective: o == target via per-bit assertions using
+        # differ against constant nets is unwieldy; assert set bits and
+        # check clear bits by replay.
+        asserted = [f"o[{i}]" for i in range(2) if (target >> i) & 1]
+        if not asserted:
+            return  # all-zero target is the reset state; nothing to cover
+        result = bmc.cover(
+            CoverObjective(asserted_all=asserted), max_depth=4
+        )
+        assert result.status is BmcStatus.COVERED
+        sim = GateSimulator(adder)
+        outputs = {}
+        for frame in result.trace.inputs:
+            outputs = sim.step(frame)
+        for i in range(2):
+            if (target >> i) & 1:
+                assert (outputs["o"] >> i) & 1
+
+
+class TestDimacs:
+    """DIMACS interchange for the SAT solver."""
+
+    def test_parse_and_solve_sat(self):
+        from repro.formal.dimacs import solver_from_dimacs
+
+        text = """c a satisfiable instance
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+"""
+        result = solver_from_dimacs(text).solve()
+        assert result.status is SatStatus.SAT
+        assert result.model[1] is False  # forced by the unit clause
+
+    def test_parse_and_solve_unsat(self):
+        from repro.formal.dimacs import solver_from_dimacs
+
+        text = "p cnf 1 2\n1 0\n-1 0\n"
+        assert solver_from_dimacs(text).solve().status is SatStatus.UNSAT
+
+    def test_roundtrip(self):
+        from repro.formal.dimacs import parse_dimacs, to_dimacs
+
+        clauses = [[1, -2], [2, 3], [-1, -3]]
+        text = to_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3
+        assert parsed == clauses
+
+    def test_bad_literal_rejected(self):
+        from repro.formal.dimacs import DimacsError, parse_dimacs
+
+        with pytest.raises(DimacsError, match="exceeds"):
+            parse_dimacs("p cnf 2 1\n5 0\n")
+
+    def test_missing_header_rejected(self):
+        from repro.formal.dimacs import DimacsError, parse_dimacs
+
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n")
+
+    def test_php_instance_from_text(self):
+        """Pigeonhole PHP(4,3) as a DIMACS round trip solves UNSAT."""
+        from repro.formal.dimacs import solver_from_dimacs, to_dimacs
+
+        pigeons, holes = 4, 3
+        var = lambda p, h: p * holes + h + 1
+        clauses = [
+            [var(p, h) for h in range(holes)] for p in range(pigeons)
+        ]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        text = to_dimacs(pigeons * holes, clauses)
+        assert solver_from_dimacs(text).solve().status is SatStatus.UNSAT
+
+
+class TestDratProof:
+    def test_unsat_proof_emitted(self):
+        s = SatSolver()
+        s.proof_logging = True
+        pigeons, holes = 4, 3
+        v = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([v[p, h] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-v[p1, h], -v[p2, h]])
+        assert s.solve().status is SatStatus.UNSAT
+        proof = s.drat_proof()
+        lines = [l for l in proof.strip().splitlines() if l]
+        # Terminates with the empty clause; every line is 0-terminated.
+        assert lines[-1] == "0"
+        assert all(l.split()[-1] == "0" for l in lines)
+        assert len(lines) >= 2  # at least one learned clause + empty
+
+    def test_learned_clauses_are_rup(self):
+        """Each proof clause must be implied: formula + prefix + the
+        clause's negation propagates to conflict (RUP check)."""
+        base = SatSolver()
+        base.proof_logging = True
+        a, b, c = base.new_var(), base.new_var(), base.new_var()
+        clauses = [[a, b], [a, -b], [-a, c], [-a, -c]]
+        for clause in clauses:
+            base.add_clause(clause)
+        assert base.solve().status is SatStatus.UNSAT
+        proof = [
+            [int(t) for t in line.split()[:-1]]
+            for line in base.drat_proof().strip().splitlines()
+            if line != "0"
+        ]
+        prefix = []
+        for learned in proof:
+            checker = SatSolver()
+            for _ in range(3):
+                checker.new_var()
+            for clause in clauses + prefix:
+                checker.add_clause(clause)
+            for literal in learned:
+                checker.add_clause([-literal])
+            assert checker.solve().status is SatStatus.UNSAT
+            prefix.append(learned)

@@ -1,0 +1,431 @@
+"""Tests for aging-library generation and profile-guided integration."""
+
+import pytest
+
+from repro.core.config import TestIntegrationConfig
+from repro.cpu.alu_design import AluOp, alu_reference
+from repro.cpu.cpu import run_program
+from repro.integration.library_gen import (
+    AgingFaultDetected,
+    AgingLibrary,
+    ConstantPool,
+    FAULT_SENTINEL,
+    render_test_body,
+)
+from repro.integration.profile import (
+    ProfileGuidedIntegrator,
+    profile_application,
+)
+from repro.lifting.models import CMode, FailureModel, ViolationKind
+from repro.lifting.testcase import TestCase, TestInstruction
+
+MODEL = FailureModel("x", "y", ViolationKind.SETUP, CMode.ONE)
+
+
+def _alu_case(name, triples):
+    """TestCase from (mnemonic, a, b) triples with golden expectations."""
+    mnemonic_op = {
+        "add": AluOp.ADD, "sub": AluOp.SUB, "xor": AluOp.XOR,
+        "and": AluOp.AND, "or": AluOp.OR,
+    }
+    case = TestCase(name=name, unit="alu", model=MODEL)
+    for mnemonic, a, b in triples:
+        case.instructions.append(
+            TestInstruction(
+                mnemonic=mnemonic,
+                operands={"rs1": a, "rs2": b},
+                expected=alu_reference(int(mnemonic_op[mnemonic]), a, b),
+            )
+        )
+    return case
+
+
+def _fpu_case(name, op_bits):
+    from repro.cpu.fpu_design import FpuOp, fpu_reference
+    from repro.cpu.mappers import FPU_MNEMONIC
+
+    case = TestCase(name=name, unit="fpu", model=MODEL)
+    for op, a, b in op_bits:
+        value, flags = fpu_reference(int(op), a, b)
+        case.instructions.append(
+            TestInstruction(
+                mnemonic=FPU_MNEMONIC[op],
+                operands={"rs1": a, "rs2": b},
+                expected=value,
+                expected_flags=flags,
+            )
+        )
+    return case
+
+
+class _BrokenAlu:
+    """Golden ALU except ADD results are off by one.
+
+    Note that ``li`` materialization flows through the ALU too (lui +
+    addi), so a broken adder also corrupts test operands — a realistic
+    effect the suite must still convert into a detection.
+    """
+
+    def execute(self, op, a, b):
+        result = alu_reference(op, a, b)
+        if op == int(AluOp.ADD):
+            result = (result + 1) & 0xFFFFFFFF
+        return result
+
+
+class _BrokenSubAlu:
+    """Golden ALU except SUB results are off by one (loads unaffected)."""
+
+    def execute(self, op, a, b):
+        result = alu_reference(op, a, b)
+        if op == int(AluOp.SUB):
+            result = (result + 1) & 0xFFFFFFFF
+        return result
+
+
+@pytest.fixture
+def library():
+    lib = AgingLibrary(name="t")
+    lib.test_cases.append(_alu_case("t_xor", [("xor", 0x5A, 0xFF)]))
+    lib.test_cases.append(
+        _alu_case("t_add", [("add", 1, 2), ("add", 0xFFFFFFFF, 1)])
+    )
+    lib.test_cases.append(_alu_case("t_sub", [("sub", 100, 58)]))
+    return lib
+
+
+class TestRenderTestBody:
+    def test_alu_body_structure(self, library):
+        pool = ConstantPool("p")
+        lines = render_test_body(library.test_cases[1], "fail_0", pool)
+        text = "\n".join(lines)
+        assert "add s2, t1, t2" in text
+        assert "add s3, t3, t4" in text
+        assert "bne s2, t0, fail_0" in text
+
+    def test_ops_are_back_to_back(self, library):
+        pool = ConstantPool("p")
+        lines = [
+            l.strip()
+            for l in render_test_body(library.test_cases[1], "f", pool)
+        ]
+        add_indices = [i for i, l in enumerate(lines) if l.startswith("add s")]
+        assert add_indices[1] == add_indices[0] + 1
+
+    def test_constants_come_from_the_pool(self, library):
+        """No li/addi: a corrupted ALU must not corrupt test constants."""
+        pool = ConstantPool("p")
+        lines = render_test_body(library.test_cases[1], "f", pool)
+        assert not any(l.strip().startswith("li ") for l in lines)
+        assert any("%hi(p" in l for l in lines)
+        # Operands and expected values all landed in the pool.
+        assert 1 in pool.values and 2 in pool.values and 3 in pool.values
+
+    def test_pool_data_lines_roundtrip(self):
+        pool = ConstantPool("p")
+        pool.load("t1", 0xDEADBEEF)
+        data = "\n".join(pool.data_lines())
+        assert ".data" in data and str(0xDEADBEEF) in data
+
+    def test_too_many_instructions_rejected(self):
+        case = _alu_case("big", [("add", i, i) for i in range(9)])
+        with pytest.raises(ValueError, match="max"):
+            render_test_body(case, "f", ConstantPool("p"))
+
+    def test_fpu_body_checks_flags(self):
+        from repro.cpu.fpu_design import FpuOp
+
+        case = _fpu_case("t_fadd", [(FpuOp.FADD, 0x3C00, 0x3C00)])
+        text = "\n".join(render_test_body(case, "f", ConstantPool("p")))
+        assert "fsflags x0" in text
+        assert "frflags t0" in text
+        assert "fadd.h fs0, ft0, ft1" in text
+
+
+class TestAgingLibrarySuite:
+    def test_healthy_unit_passes(self, library):
+        result = library.run_suite()
+        assert not result.detected
+        assert result.cycles > 0
+
+    def test_broken_alu_detected(self, library):
+        # Constants come from the ALU-free pool, so attribution is
+        # precise: the add test (and only it) flags the broken adder.
+        result = library.run_suite(alu=_BrokenAlu())
+        assert result.detected
+        assert result.detected_by == "t_add"
+
+    def test_precise_attribution_when_loads_unaffected(self, library):
+        result = library.run_suite(alu=_BrokenSubAlu())
+        assert result.detected
+        assert result.detected_by == "t_sub"
+
+    def test_random_order_is_permutation(self, library):
+        order = library.order("random")
+        assert sorted(order) == [0, 1, 2]
+
+    def test_unknown_strategy(self, library):
+        with pytest.raises(ValueError):
+            library.order("alphabetical")
+
+    def test_raise_on_fault(self, library):
+        result = library.run_suite(alu=_BrokenAlu())
+        with pytest.raises(AgingFaultDetected, match="t_add"):
+            library.raise_on_fault(result)
+
+    def test_fpu_suite_detects_broken_fpu(self):
+        from repro.cpu.fpu_design import FpuOp, fpu_reference
+
+        class _BrokenFpu:
+            def execute(self, op, a, b):
+                value, flags = fpu_reference(op, a, b)
+                if op == int(FpuOp.FMUL):
+                    value ^= 1
+                return value, flags
+
+        lib = AgingLibrary(name="t")
+        lib.test_cases.append(
+            _fpu_case("t_fmul", [(FpuOp.FMUL, 0x4100, 0x3E00)])
+        )
+        result = lib.run_suite(fpu=_BrokenFpu())
+        assert result.detected
+
+    def test_suite_cycles_scale_with_tests(self, library):
+        single = AgingLibrary(name="s", test_cases=[library.test_cases[0]])
+        assert library.suite_cycles() > single.suite_cycles()
+
+    def test_c_source_artifact(self, library):
+        text = library.c_source()
+        assert "vega_run_sequential" in text
+        assert "vega_run_random" in text
+        assert "__asm__ volatile" in text
+        assert text.count("static int vega_test_") == 3
+
+
+class TestProfileGuidedIntegration:
+    APP = """
+        li s0, 0
+        li s1, 16
+    outer:
+        li s2, 200
+    inner:
+        add s0, s0, s2
+        addi s2, s2, -1
+        bnez s2, inner
+        addi s1, s1, -1
+        bnez s1, outer
+        mv a0, s0
+        ecall
+    """
+
+    def test_profile_counts_blocks(self):
+        profile = profile_application(self.APP)
+        counts = profile.labelled_counts()
+        assert counts["outer"] == 16
+        assert counts["inner"] == 16 * 200
+
+    def test_choose_block_prefers_cool_blocks(self, library):
+        integrator = ProfileGuidedIntegrator(
+            library,
+            TestIntegrationConfig(min_block_executions=4, max_block_share=0.5),
+        )
+        profile = profile_application(self.APP)
+        label, count = integrator.choose_block(profile)
+        assert label == "outer"  # cooler than `inner`, still routine
+        assert count == 16
+
+    def test_integrated_app_preserves_result(self, library):
+        integrator = ProfileGuidedIntegrator(library)
+        app = integrator.integrate(self.APP)
+        baseline = run_program(self.APP)
+        result, fault = app.run()
+        assert not fault
+        assert result.exit_value == baseline.exit_value
+
+    def test_integrated_app_detects_faults(self, library):
+        integrator = ProfileGuidedIntegrator(library)
+        app = integrator.integrate(self.APP)
+        result, fault = app.run(alu=_BrokenAlu())
+        # The broken ALU perturbs the app itself too, but the sentinel
+        # must fire (tests run before the app can finish).
+        assert fault
+
+    def test_overhead_gating_kicks_in(self, library):
+        config = TestIntegrationConfig(overhead_threshold=0.001)
+        integrator = ProfileGuidedIntegrator(library, config)
+        app = integrator.integrate(self.APP)
+        assert app.plan.gated
+        assert app.plan.estimated_overhead <= 0.2  # bounded after gating
+
+    def test_ungated_when_cheap(self, library):
+        config = TestIntegrationConfig(overhead_threshold=0.9)
+        integrator = ProfileGuidedIntegrator(library, config)
+        app = integrator.integrate(self.APP)
+        assert not app.plan.gated
+
+    def test_gated_app_still_correct(self, library):
+        config = TestIntegrationConfig(overhead_threshold=0.001)
+        integrator = ProfileGuidedIntegrator(library, config)
+        app = integrator.integrate(self.APP)
+        baseline = run_program(self.APP)
+        result, fault = app.run()
+        assert not fault
+        assert result.exit_value == baseline.exit_value
+
+    def test_measured_overhead_reasonable(self, library):
+        config = TestIntegrationConfig(overhead_threshold=0.05)
+        integrator = ProfileGuidedIntegrator(library, config)
+        app = integrator.integrate(self.APP)
+        baseline = run_program(self.APP)
+        result, _ = app.run()
+        overhead = result.cycles / baseline.cycles - 1.0
+        assert overhead < 0.5
+
+    def test_missing_candidates_raise(self, library):
+        config = TestIntegrationConfig(min_block_executions=10_000)
+        integrator = ProfileGuidedIntegrator(library, config)
+        with pytest.raises(ValueError, match="no basic block"):
+            integrator.integrate(self.APP)
+
+    def test_routine_preserves_registers_and_flags(self, library):
+        # An app that depends on t-registers and fflags across the
+        # integration point.
+        app = """
+            li t1, 1234
+            li s1, 6
+            li t0, 0x7BFF
+            fmv.h.x fa0, t0
+            fadd.h fa1, fa0, fa0   # sets OF|NX
+        hot:
+            addi s1, s1, -1
+            bnez s1, hot
+            frflags t2
+            add a0, t1, t2
+            ecall
+        """
+        integrator = ProfileGuidedIntegrator(
+            library,
+            TestIntegrationConfig(min_block_executions=2, max_block_share=0.9),
+        )
+        integrated = integrator.integrate(app)
+        assert integrated.plan.label == "hot"
+        baseline = run_program(app)
+        result, fault = integrated.run()
+        assert not fault
+        assert result.exit_value == baseline.exit_value
+
+
+class TestRandomBaseline:
+    def test_random_suite_sizes(self):
+        from repro.baselines import random_suite
+
+        lib = random_suite("alu", 8, seed=1)
+        assert len(lib.test_cases) == 8
+        assert all(len(c.instructions) == 1 for c in lib.test_cases)
+
+    def test_random_suite_passes_on_healthy_unit(self):
+        from repro.baselines import random_suite
+
+        for unit in ("alu", "fpu"):
+            lib = random_suite(unit, 5, seed=3)
+            result = lib.run_suite()
+            assert not result.detected
+
+    def test_random_suites_differ_by_seed(self):
+        from repro.baselines import random_suite
+
+        a = random_suite("alu", 5, seed=1).suite_source()
+        b = random_suite("alu", 5, seed=2).suite_source()
+        assert a != b
+
+    def test_random_fpu_detects_broken_fmul(self):
+        from repro.baselines import random_suite
+        from repro.cpu.fpu_design import FpuOp, fpu_reference
+
+        class _Broken:
+            def execute(self, op, a, b):
+                value, flags = fpu_reference(op, a, b)
+                return value ^ 1, flags  # corrupt every result LSB
+
+        lib = random_suite("fpu", 20, seed=5)
+        result = lib.run_suite(fpu=_Broken())
+        assert result.detected
+
+
+class TestSiliFuzzLite:
+    """The top-down baseline generator (§6.1 comparison)."""
+
+    def test_corpus_is_deterministic_per_seed(self):
+        from repro.baselines.silifuzz_lite import SiliFuzzLite
+
+        a = SiliFuzzLite("alu", seed=9).corpus(4)
+        b = SiliFuzzLite("alu", seed=9).corpus(4)
+        assert [s.source for s in a] == [s.source for s in b]
+        assert [s.golden for s in a] == [s.golden for s in b]
+
+    def test_clean_hardware_passes(self):
+        from repro.baselines.silifuzz_lite import SiliFuzzLite
+        from repro.cpu.alu_design import build_alu
+        from repro.cpu.cosim import GateAluBackend
+
+        fuzzer = SiliFuzzLite("alu", seed=4)
+        corpus = fuzzer.corpus(3)
+        verdict = fuzzer.detects(
+            corpus, alu=GateAluBackend(build_alu())
+        )
+        assert not verdict["detected"]
+
+    def test_broken_alu_caught_by_volume(self):
+        from repro.baselines.silifuzz_lite import SiliFuzzLite
+
+        fuzzer = SiliFuzzLite("alu", seed=4)
+        corpus = fuzzer.corpus(6)
+        verdict = fuzzer.detects(corpus, alu=_BrokenAlu())
+        assert verdict["detected"]
+        assert verdict["by"] is not None
+
+    def test_unknown_unit_rejected(self):
+        from repro.baselines.silifuzz_lite import SiliFuzzLite
+
+        with pytest.raises(ValueError):
+            SiliFuzzLite("dsp")
+
+
+class TestConstantPoolPaging:
+    """%hi/%lo addressing must hold when the pool crosses 4 KiB pages."""
+
+    def test_large_pool_loads_every_constant(self):
+        from repro.cpu.cpu import run_program
+        from repro.integration.library_gen import ConstantPool
+
+        pool = ConstantPool("bigpool")
+        lines = [".text"]
+        values = [(0x1234 * (i + 1)) & 0xFFFFFFFF for i in range(1200)]
+        # Load three probes: start, one just past the 4 KiB boundary,
+        # and the last entry; xor them into a0.
+        probes = (0, 1025, 1199)
+        loads = {}
+        for index, value in enumerate(values):
+            load_lines = pool.load("t1", value)
+            if index in probes:
+                loads[index] = load_lines
+        lines.append("    li a0, 0")
+        for index in probes:
+            lines.extend(loads[index])
+            lines.append("    xor a0, a0, t1")
+        lines.append("    ecall")
+        lines.extend(pool.data_lines())
+        result = run_program("\n".join(lines))
+        expected = 0
+        for index in probes:
+            expected ^= values[index]
+        assert result.exit_value == expected
+
+    def test_pool_offsets_monotone(self):
+        from repro.integration.library_gen import ConstantPool
+
+        pool = ConstantPool("p")
+        first = pool.load("t1", 7)
+        second = pool.load("t1", 9)
+        assert "%hi(p)" in first[0]
+        assert "%hi(p+4)" in second[0]

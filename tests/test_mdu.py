@@ -1,0 +1,155 @@
+"""Tests for the RV32M multiply unit (design, ISA, co-simulation)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cosim import GateMduBackend
+from repro.cpu.cpu import run_program
+from repro.cpu.encoding import decode, encode
+from repro.cpu.isa import Instruction
+from repro.cpu.mdu_design import MduOp, build_mdu, mdu_reference
+from repro.sim.gatesim import GateSimulator
+
+U32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+_MDU_CACHE = {}
+
+
+def _mdu_sim():
+    if "sim" not in _MDU_CACHE:
+        _MDU_CACHE["sim"] = GateSimulator(build_mdu())
+    return _MDU_CACHE["sim"]
+
+
+class TestReferenceModel:
+    @given(a=U32, b=U32)
+    @settings(max_examples=60, deadline=None)
+    def test_mul_matches_python(self, a, b):
+        assert mdu_reference(int(MduOp.MUL), a, b) == (a * b) & 0xFFFFFFFF
+
+    @given(a=U32, b=U32)
+    @settings(max_examples=60, deadline=None)
+    def test_mulhu_matches_python(self, a, b):
+        assert mdu_reference(int(MduOp.MULHU), a, b) == (a * b) >> 32
+
+    @given(a=U32, b=U32)
+    @settings(max_examples=60, deadline=None)
+    def test_mulh_matches_python(self, a, b):
+        signed = lambda x: x - (1 << 32) if x >> 31 else x
+        expected = ((signed(a) * signed(b)) >> 32) & 0xFFFFFFFF
+        assert mdu_reference(int(MduOp.MULH), a, b) == expected
+
+    @given(a=U32, b=U32)
+    @settings(max_examples=60, deadline=None)
+    def test_mulhsu_matches_python(self, a, b):
+        signed = lambda x: x - (1 << 32) if x >> 31 else x
+        expected = ((signed(a) * b) >> 32) & 0xFFFFFFFF
+        assert mdu_reference(int(MduOp.MULHSU), a, b) == expected
+
+
+class TestGateDesign:
+    @given(op=st.sampled_from(list(MduOp)), a=U32, b=U32)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, op, a, b):
+        sim = _mdu_sim()
+        sim.reset()
+        frame = {"op": int(op), "a": a, "b": b, "dft": 0}
+        sim.step(frame)
+        sim.step(frame)
+        out = sim.step(frame)
+        assert out["result"] == mdu_reference(int(op), a, b)
+
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (0, 0), (1, 1), (0xFFFFFFFF, 0xFFFFFFFF),
+            (0x80000000, 0x80000000), (0x7FFFFFFF, 2),
+            (0x80000000, 1), (0xFFFFFFFF, 0x80000000),
+        ],
+    )
+    def test_corner_operands_all_ops(self, a, b):
+        sim = _mdu_sim()
+        for op in MduOp:
+            sim.reset()
+            frame = {"op": int(op), "a": a, "b": b, "dft": 0}
+            sim.step(frame)
+            sim.step(frame)
+            out = sim.step(frame)
+            assert out["result"] == mdu_reference(int(op), a, b)
+
+
+class TestIsaIntegration:
+    def test_mul_instruction(self):
+        result = run_program(
+            """
+                li a1, 123456
+                li a2, 789
+                mul a0, a1, a2
+                ecall
+            """
+        )
+        assert result.exit_value == (123456 * 789) & 0xFFFFFFFF
+
+    def test_mulh_signed(self):
+        result = run_program(
+            """
+                li a1, -2
+                li a2, 3
+                mulh a0, a1, a2
+                ecall
+            """
+        )
+        assert result.exit_value == 0xFFFFFFFF  # high word of -6
+
+    def test_mulhu_unsigned(self):
+        result = run_program(
+            """
+                li a1, 0x80000000
+                li a2, 4
+                mulhu a0, a1, a2
+                ecall
+            """
+        )
+        assert result.exit_value == 2
+
+    def test_gate_backend_in_program(self):
+        source = """
+            li a1, 1000003
+            li a2, 999983
+            mul a0, a1, a2
+            ecall
+        """
+        golden = run_program(source)
+        gated = run_program(source, mdu=GateMduBackend(build_mdu()))
+        assert gated.exit_value == golden.exit_value
+
+    def test_encoding_roundtrip(self):
+        for name in ("mul", "mulh", "mulhsu", "mulhu"):
+            instr = Instruction(name, rd=3, rs1=4, rs2=5)
+            back = decode(encode(instr))
+            assert back.mnemonic == name
+            assert (back.rd, back.rs1, back.rs2) == (3, 4, 5)
+
+    def test_mul_spec_encoding_golden(self):
+        # mul x1, x2, x3 = 0x023100b3 (funct7=1)
+        assert encode(Instruction("mul", rd=1, rs1=2, rs2=3)) == 0x023100B3
+
+
+class TestFailureInjection:
+    def test_failing_mdu_detected_by_direct_probe(self):
+        from repro.lifting.instrument import make_failing_netlist
+        from repro.lifting.models import CMode, FailureModel, ViolationKind
+
+        mdu = build_mdu()
+        model = FailureModel(
+            "a_q_r0", "res_q_r31", ViolationKind.SETUP, CMode.ONE
+        )
+        failing = make_failing_netlist(mdu, model)
+        backend = GateMduBackend(failing.netlist)
+        golden = mdu_reference(int(MduOp.MUL), 0, 0)
+        backend.execute(int(MduOp.MUL), 0, 0)
+        corrupted = backend.execute(int(MduOp.MUL), 1, 0)  # a[0] rises
+        assert corrupted != mdu_reference(int(MduOp.MUL), 1, 0)

@@ -1,0 +1,189 @@
+"""Unit tests for the netlist data model and cell library."""
+
+import pytest
+
+from repro.netlist.cells import VEGA28, CellType, make_vega28_library
+from repro.netlist.netlist import Netlist, NetlistError
+
+
+class TestCellLibrary:
+    def test_vega28_has_core_cells(self, vega28):
+        for name in ("INV", "AND2", "OR2", "XOR2", "MUX2", "DFF", "CLKBUF"):
+            assert name in vega28
+
+    def test_duplicate_cell_rejected(self, vega28):
+        with pytest.raises(ValueError):
+            vega28.add(vega28["INV"])
+
+    def test_missing_cell_reports_library(self, vega28):
+        with pytest.raises(KeyError, match="vega28"):
+            vega28["FANCY9"]
+
+    def test_delay_ordering(self, vega28):
+        for cell in vega28:
+            assert cell.tmin <= cell.tmax
+
+    def test_sequential_partition(self, vega28):
+        seq = {c.name for c in vega28.sequential()}
+        comb = {c.name for c in vega28.combinational()}
+        assert seq == {"DFF"}
+        assert "XOR2" in comb
+        assert not (seq & comb)
+
+    @pytest.mark.parametrize(
+        "name,inputs,expected",
+        [
+            ("AND2", (1, 1), 1),
+            ("AND2", (1, 0), 0),
+            ("OR2", (0, 0), 0),
+            ("OR2", (0, 1), 1),
+            ("XOR2", (1, 1), 0),
+            ("XOR2", (0, 1), 1),
+            ("NAND2", (1, 1), 0),
+            ("NOR2", (0, 0), 1),
+            ("XNOR2", (1, 1), 1),
+            ("INV", (1,), 0),
+            ("BUF", (0,), 0),
+        ],
+    )
+    def test_gate_truth_tables(self, vega28, name, inputs, expected):
+        assert vega28[name].evaluate(inputs, mask=1) == expected
+
+    def test_mux_semantics(self, vega28):
+        mux = vega28["MUX2"]
+        # (A, B, S): S=0 -> A, S=1 -> B
+        assert mux.evaluate((1, 0, 0)) == 1
+        assert mux.evaluate((1, 0, 1)) == 0
+
+    def test_bit_parallel_evaluation(self, vega28):
+        # Evaluate 4 vectors at once: A=0b0011, B=0b0101.
+        mask = 0b1111
+        assert vega28["AND2"].evaluate((0b0011, 0b0101), mask) == 0b0001
+        assert vega28["XOR2"].evaluate((0b0011, 0b0101), mask) == 0b0110
+        assert vega28["INV"].evaluate((0b0011,), mask) == 0b1100
+
+    def test_stress_state_defaults_to_zero(self, vega28):
+        assert all(cell.stress_state == 0 for cell in vega28)
+
+
+class TestNetlistConstruction:
+    def test_ports_and_nets(self, vega28):
+        nl = Netlist("t", vega28)
+        p = nl.add_input_port("a", 3)
+        assert p.width == 3
+        assert nl.get_net("a[1]") is p.bit(1)
+
+    def test_scalar_port_name(self, vega28):
+        nl = Netlist("t", vega28)
+        p = nl.add_input_port("en")
+        assert p.bit(0).name == "en"
+
+    def test_double_driver_rejected(self, vega28):
+        nl = Netlist("t", vega28)
+        a = nl.add_input_port("a").bit(0)
+        y = nl.add_net("y")
+        nl.add_instance("INV", {"A": a, "Y": y})
+        with pytest.raises(NetlistError, match="already driven"):
+            nl.add_instance("BUF", {"A": a, "Y": y})
+
+    def test_driving_input_rejected(self, vega28):
+        nl = Netlist("t", vega28)
+        a = nl.add_input_port("a").bit(0)
+        with pytest.raises(NetlistError, match="input"):
+            nl.add_instance("INV", {"A": a, "Y": a})
+
+    def test_wrong_pins_rejected(self, vega28):
+        nl = Netlist("t", vega28)
+        a = nl.add_input_port("a").bit(0)
+        y = nl.add_net("y")
+        with pytest.raises(NetlistError, match="pins"):
+            nl.add_instance("AND2", {"A": a, "Y": y})
+
+    def test_undriven_input_detected(self, vega28):
+        nl = Netlist("t", vega28)
+        floating = nl.add_net("floating")
+        y = nl.add_output_port("y").bit(0)
+        nl.add_instance("INV", {"A": floating, "Y": y})
+        with pytest.raises(NetlistError, match="undriven"):
+            nl.validate()
+
+    def test_combinational_loop_detected(self, vega28):
+        nl = Netlist("t", vega28)
+        x = nl.add_net("x")
+        y = nl.add_net("y")
+        nl.add_instance("INV", {"A": x, "Y": y})
+        nl.add_instance("INV", {"A": y, "Y": x})
+        with pytest.raises(NetlistError, match="loop"):
+            nl.levelize()
+
+    def test_dff_breaks_loop(self, vega28):
+        # A DFF in the cycle makes the structure legal (a toggle flop).
+        nl = Netlist("t", vega28)
+        q = nl.add_net("q")
+        d = nl.add_net("d")
+        nl.add_instance("INV", {"A": q, "Y": d})
+        nl.add_instance("DFF", {"D": d, "Q": q})
+        order = nl.levelize()
+        assert len(order) == 1
+
+    def test_remove_instance(self, vega28):
+        nl = Netlist("t", vega28)
+        a = nl.add_input_port("a").bit(0)
+        y = nl.add_net("y")
+        nl.add_instance("INV", {"A": a, "Y": y}, name="i1")
+        nl.remove_instance("i1")
+        assert y.driver is None
+        assert a.loads == []
+
+    def test_rewire_input(self, vega28):
+        nl = Netlist("t", vega28)
+        a = nl.add_input_port("a").bit(0)
+        b = nl.add_input_port("b").bit(0)
+        y = nl.add_net("y")
+        inst = nl.add_instance("INV", {"A": a, "Y": y}, name="i1")
+        nl.rewire_input(inst, "A", b)
+        assert inst.pins["A"] is b
+        assert a.loads == []
+        assert (inst, "A") in b.loads
+
+
+class TestPaperAdder:
+    def test_structure_matches_figure3(self, paper_adder):
+        stats = paper_adder.stats()
+        assert stats["_dffs"] == 6
+        assert stats["XOR2"] == 3
+        assert stats["AND2"] == 1
+
+    def test_levelize_orders_carry_before_sum(self, paper_adder):
+        order = [i.name for i in paper_adder.levelize()]
+        assert order.index("x7") < order.index("x8")
+        assert order.index("a6") < order.index("x8")
+
+    def test_fanout_cone_of_d4(self, paper_adder):
+        # d4 (bq1) influences x7, x8, d10 — the paper's setup path.
+        cone = paper_adder.fanout_cone(paper_adder.instances["d4"].output_net)
+        names = {i.name for i in cone}
+        assert names == {"x7", "x8", "d10"}
+
+    def test_fanout_cone_crosses_dffs(self, paper_adder):
+        cone = paper_adder.fanout_cone(paper_adder.instances["x7"].output_net)
+        names = {i.name for i in cone}
+        assert names == {"x8", "d10"}
+
+    def test_fanin_cone_of_o1(self, paper_adder):
+        net = paper_adder.instances["d10"].pins["D"]
+        cone = paper_adder.fanin_cone(net)
+        names = {i.name for i in cone}
+        assert names == {"x8", "x7", "a6", "d1", "d2", "d3", "d4"}
+
+    def test_clone_is_deep(self, paper_adder):
+        clone = paper_adder.clone()
+        assert clone.stats() == paper_adder.stats()
+        clone.remove_instance("x8")
+        assert "x8" in paper_adder.instances
+        assert "x8" not in clone.instances
+
+    def test_clone_preserves_ports(self, paper_adder):
+        clone = paper_adder.clone()
+        assert [p.name for p in clone.input_ports()] == ["a", "b"]
+        assert clone.ports["o"].width == 2

@@ -1,0 +1,229 @@
+"""Tests for the netlist optimizer, verified by the equivalence checker."""
+
+import random
+
+import pytest
+
+from repro.core.example import build_paper_adder
+from repro.formal.equiv import (
+    EquivalenceError,
+    check_equivalence,
+)
+from repro.netlist.cells import make_vega28_library
+from repro.netlist.netlist import Netlist
+from repro.netlist.opt import optimize
+from repro.rtl.signal import Module, mux
+from repro.rtl.synth import synthesize
+from repro.sim.gatesim import GateSimulator
+
+
+def _with_redundancy():
+    """A netlist with obvious constant/buffer/dead redundancy."""
+    lib = make_vega28_library()
+    nl = Netlist("red", lib)
+    a = nl.add_input_port("a").bit(0)
+    b = nl.add_input_port("b").bit(0)
+    y = nl.add_output_port("y").bit(0)
+
+    tie1 = nl.add_net("c1")
+    nl.add_instance("TIE1", {"Y": tie1})
+    # and(a, 1) == a, routed through two buffers.
+    anded = nl.add_net("anded")
+    nl.add_instance("AND2", {"A": a, "B": tie1, "Y": anded})
+    buf1 = nl.add_net("buf1")
+    nl.add_instance("BUF", {"A": anded, "Y": buf1})
+    xored = nl.add_net("xored")
+    nl.add_instance("XOR2", {"A": buf1, "B": b, "Y": xored})
+    nl.add_instance("BUF", {"A": xored, "Y": y})
+    # Dead logic: an unconnected inverter tree.
+    dead1 = nl.add_net("dead1")
+    nl.add_instance("INV", {"A": b, "Y": dead1})
+    dead2 = nl.add_net("dead2")
+    nl.add_instance("INV", {"A": dead1, "Y": dead2})
+    nl.validate()
+    return nl
+
+
+class TestOptimizer:
+    def test_removes_redundancy(self):
+        nl = _with_redundancy()
+        before = nl.stats()["_cells"]
+        removed = optimize(nl)
+        assert removed >= 4  # AND2, inner BUF, two dead INVs (and TIE)
+        assert nl.stats()["_cells"] < before
+        nl.validate()
+
+    def test_behaviour_preserved_by_simulation(self):
+        reference = _with_redundancy()
+        optimized = _with_redundancy()
+        optimize(optimized)
+        ref_sim = GateSimulator(reference)
+        opt_sim = GateSimulator(optimized)
+        for a in (0, 1):
+            for b in (0, 1):
+                frame = {"a": a, "b": b}
+                assert ref_sim.evaluate(frame) == opt_sim.evaluate(frame)
+
+    def test_behaviour_preserved_formally(self):
+        reference = _with_redundancy()
+        optimized = _with_redundancy()
+        optimize(optimized)
+        verdict = check_equivalence(reference, optimized, depth=1)
+        assert verdict.equivalent is True
+
+    def test_sequential_netlist_preserved(self, paper_adder):
+        optimized = build_paper_adder()
+        optimize(optimized)
+        verdict = check_equivalence(paper_adder, optimized, depth=3)
+        assert verdict.equivalent is True
+
+    def test_idempotent(self):
+        nl = _with_redundancy()
+        optimize(nl)
+        assert optimize(nl) == 0
+
+    def test_alu_already_optimal_and_behaviour_preserved(self):
+        """The RTL DSL folds constants and hash-conses subexpressions
+        at construction time, so synthesis output has nothing left for
+        these cleanup passes — and optimization must not break it."""
+        from repro.cpu.alu_design import AluOp, alu_reference, build_alu
+
+        alu = build_alu()
+        before = alu.stats()["_cells"]
+        removed = optimize(alu)
+        assert removed == 0
+        assert alu.stats()["_cells"] == before
+        sim = GateSimulator(alu)
+        rng = random.Random(4)
+        for _ in range(30):
+            op = int(rng.choice(list(AluOp)))
+            a, b = rng.getrandbits(32), rng.getrandbits(32)
+            frame = {"op": op, "a": a, "b": b, "mode": 0, "dft": 0}
+            sim.reset()
+            sim.step(frame)
+            sim.step(frame)
+            assert sim.step(frame)["result"] == alu_reference(op, a, b)
+
+
+class TestEquivalenceChecker:
+    def test_detects_inequivalence(self):
+        lib = make_vega28_library()
+
+        def build(gate):
+            nl = Netlist("g", lib)
+            a = nl.add_input_port("a").bit(0)
+            b = nl.add_input_port("b").bit(0)
+            y = nl.add_output_port("y").bit(0)
+            nl.add_instance(gate, {"A": a, "B": b, "Y": y})
+            return nl
+
+        verdict = check_equivalence(build("AND2"), build("OR2"))
+        assert verdict.equivalent is False
+        cex = verdict.counterexample
+        # The counterexample distinguishes AND from OR.
+        assert (cex["a"] & cex["b"]) != (cex["a"] | cex["b"])
+
+    def test_mismatched_interfaces_rejected(self, paper_adder):
+        lib = make_vega28_library()
+        other = Netlist("o", lib)
+        other.add_input_port("a", 2)
+        port = other.add_output_port("o", 2)
+        src = other.add_input_port("b", 3)  # wrong width
+        for i in range(2):
+            other.add_instance(
+                "BUF", {"A": src.bit(i), "Y": port.bit(i)}
+            )
+        with pytest.raises(EquivalenceError):
+            check_equivalence(paper_adder, other)
+
+    def test_synthesized_expressions_equivalent(self):
+        """Two structurally different forms of the same function."""
+        lib = make_vega28_library()
+
+        def xor_form():
+            m = Module("x1")
+            a = m.input("a", 4)
+            b = m.input("b", 4)
+            m.output("y", a ^ b)
+            return synthesize(m, lib)
+
+        def mux_form():
+            m = Module("x2")
+            a = m.input("a", 4)
+            b = m.input("b", 4)
+            # a xor b == mux(b, a, ~a) bitwise
+            from repro.rtl.signal import Signal
+
+            bits = tuple(
+                m.b_mux(bb, ab, m.b_not(ab))
+                for ab, bb in zip(a.bits, b.bits)
+            )
+            m.output("y", Signal(m, bits))
+            return synthesize(m, lib)
+
+        verdict = check_equivalence(xor_form(), mux_form())
+        assert verdict.equivalent is True
+
+    def test_sequential_difference_found(self, paper_adder):
+        # Flip one gate of the adder: the checker finds a witness.
+        from repro.core.example import build_paper_adder
+
+        broken = build_paper_adder()
+        x8 = broken.instances["x8"]
+        pins = dict(x8.pins)
+        broken.remove_instance("x8")
+        broken.add_instance("XNOR2", pins, name="x8")
+        verdict = check_equivalence(paper_adder, broken, depth=3)
+        assert verdict.equivalent is False
+
+
+class TestRandomizedEquivalence:
+    """Fuzz: optimizer preserves random netlists; mutations are caught."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_optimizer_preserves_random_netlists(self, seed):
+        import random as _random
+
+        from tests.test_properties import _random_netlist
+
+        rng = _random.Random(seed + 100)
+        reference = _random_netlist(rng, n_inputs=3, n_gates=12, n_dffs=2)
+        rng2 = _random.Random(seed + 100)
+        optimized = _random_netlist(rng2, n_inputs=3, n_gates=12, n_dffs=2)
+        optimize(optimized)
+        verdict = check_equivalence(reference, optimized, depth=3)
+        assert verdict.equivalent is True
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_gate_swap_usually_detected(self, seed):
+        import random as _random
+
+        from tests.test_properties import _random_netlist
+
+        rng = _random.Random(seed + 300)
+        reference = _random_netlist(rng, n_inputs=3, n_gates=12, n_dffs=1)
+        rng2 = _random.Random(seed + 300)
+        mutated = _random_netlist(rng2, n_inputs=3, n_gates=12, n_dffs=1)
+        # Swap one AND2 <-> OR2 (if present) in the mutant.
+        target = next(
+            (
+                inst
+                for inst in mutated.instances.values()
+                if inst.ctype.name in ("AND2", "OR2")
+            ),
+            None,
+        )
+        if target is None:
+            pytest.skip("no swappable gate in this sample")
+        other = "OR2" if target.ctype.name == "AND2" else "AND2"
+        pins = dict(target.pins)
+        name = target.name
+        mutated.remove_instance(name)
+        mutated.add_instance(other, pins, name=name)
+        verdict = check_equivalence(reference, mutated, depth=3)
+        # A swapped gate is either observable (inequivalent, with a
+        # counterexample) or masked by downstream logic (equivalent);
+        # the checker must return a definite verdict either way.
+        assert verdict.equivalent in (True, False)
+        if verdict.equivalent is False:
+            assert verdict.counterexample is not None

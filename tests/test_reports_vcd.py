@@ -1,0 +1,139 @@
+"""Tests for the timing-report renderer and the VCD reader."""
+
+import pytest
+
+from repro.aging.corners import TYPICAL_CORNER
+from repro.sim.gatesim import GateSimulator
+from repro.sim.vcd import VcdWriter
+from repro.sim.vcd_reader import (
+    VcdParseError,
+    parse_vcd,
+    sp_profile_from_vcd,
+)
+from repro.sta.report import format_path, report_timing
+from repro.sta.timing import DelayModel, StaticTimingAnalyzer
+
+
+@pytest.fixture
+def violated_report(paper_adder):
+    model = DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+    analyzer = StaticTimingAnalyzer(paper_adder, model)
+    return analyzer.check(period_ns=0.9), model
+
+
+class TestTimingReport:
+    def test_report_structure(self, paper_adder, violated_report):
+        report, model = violated_report
+        text = report_timing(report, paper_adder, model, max_paths=2)
+        assert "Timing report" in text
+        assert "WNS setup" in text
+        assert text.count("Startpoint:") == 2
+        assert "(VIOLATED)" in text
+
+    def test_per_stage_arrivals_accumulate(self, paper_adder, violated_report):
+        report, model = violated_report
+        worst = min(report.violations, key=lambda v: v.slack)
+        text = format_path(worst, paper_adder, model)
+        # The last cumulative figure equals the path arrival.
+        lines = [l for l in text.splitlines() if l and l[0] not in "-SEa("]
+        last_cumulative = float(lines[-1].split()[-1])
+        assert last_cumulative == pytest.approx(worst.arrival)
+
+    def test_structural_only_without_delays(self, paper_adder, violated_report):
+        report, _ = violated_report
+        worst = report.violations[0]
+        text = format_path(worst, paper_adder)
+        assert "clk->q" not in text
+        for cell in worst.cells:
+            assert cell in text
+
+    def test_kind_filter(self, paper_adder, violated_report):
+        report, model = violated_report
+        text = report_timing(report, paper_adder, model, kind="hold")
+        assert "(no violating paths)" in text
+
+    def test_clean_report(self, paper_adder):
+        model = DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        report = StaticTimingAnalyzer(paper_adder, model).check(1.0)
+        text = report_timing(report, paper_adder, model)
+        assert "(no violating paths)" in text
+
+
+class TestVcdReader:
+    def test_roundtrip_with_writer(self):
+        writer = VcdWriter(["x", "y"])
+        # x: 1 for 3 of 4 time steps; y: always 0.
+        writer.sample({"x": 1, "y": 0}, time=0)
+        writer.sample({"x": 1, "y": 0}, time=1)
+        writer.sample({"x": 1, "y": 0}, time=2)
+        writer.sample({"x": 0, "y": 0}, time=3)
+        profile = sp_profile_from_vcd(writer.dump(), "t")
+        assert profile.sp["x"] == pytest.approx(3 / 4)
+        assert profile.sp["y"] == 0.0
+
+    def test_simulation_capture_roundtrip(self, paper_adder):
+        """Record a real simulation to VCD, read SP back, and compare
+        against the direct SP counter."""
+        from repro.sim.probes import SPCounter
+
+        nets = sorted(paper_adder.nets)
+        writer = VcdWriter(nets)
+        sim = GateSimulator(paper_adder)
+        counter = SPCounter(paper_adder)
+        stimulus = [
+            {"a": (7 * i) % 4, "b": (5 * i + 1) % 4} for i in range(40)
+        ]
+        for t, frame in enumerate(stimulus):
+            sim.step(frame)
+            counter.sample(sim)
+            writer.sample(
+                {n: sim.read_net(n) & 1 for n in nets}, time=t
+            )
+        direct = counter.profile()
+        from_vcd = sp_profile_from_vcd(writer.dump(), paper_adder.name)
+        for net in nets:
+            assert from_vcd.sp[net] == pytest.approx(
+                direct.sp[net], abs=0.03
+            )
+
+    def test_vcd_profile_drives_aging_sta(self, paper_adder):
+        """Field-trace ingestion end to end: VCD -> SP -> aged STA."""
+        from repro.aging.charlib import AgingTimingLibrary
+        from repro.core.config import AgingAnalysisConfig
+        from repro.sta.aging_sta import AgingAwareSta
+
+        nets = sorted(paper_adder.nets)
+        writer = VcdWriter(nets)
+        sim = GateSimulator(paper_adder)
+        for t in range(60):
+            sim.step({"a": t % 4, "b": (3 * t) % 4})
+            writer.sample({n: sim.read_net(n) & 1 for n in nets}, time=t)
+        profile = sp_profile_from_vcd(writer.dump(), paper_adder.name)
+        sta = AgingAwareSta(
+            paper_adder,
+            AgingTimingLibrary.characterize(paper_adder.library),
+            config=AgingAnalysisConfig(clock_margin=0.042),
+            corner=TYPICAL_CORNER,
+        )
+        result = sta.analyze(profile, clock_period_ns=1.0)
+        assert result.report.setup_violations()
+
+    def test_vector_signals_rejected(self):
+        bad = "$var wire 8 ! bus $end\n$enddefinitions $end\n"
+        with pytest.raises(VcdParseError, match="scalar"):
+            parse_vcd(bad)
+
+    def test_unknown_code_rejected(self):
+        bad = (
+            "$var wire 1 ! x $end\n$enddefinitions $end\n#0\n1?\n"
+        )
+        with pytest.raises(VcdParseError, match="unknown code"):
+            parse_vcd(bad)
+
+    def test_x_values_read_as_zero(self):
+        text = (
+            "$var wire 1 ! x $end\n$enddefinitions $end\n"
+            "#0\nx!\n#5\n1!\n#9\n0!\n"
+        )
+        data = parse_vcd(text)
+        assert 0.0 < data.duty_cycle("!") < 1.0

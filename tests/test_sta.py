@@ -1,0 +1,200 @@
+"""Tests for static timing analysis, clock tree, and aging-aware STA."""
+
+import pytest
+
+from repro.aging.charlib import AgingTimingLibrary
+from repro.aging.corners import TYPICAL_CORNER, WORST_CORNER
+from repro.core.config import AgingAnalysisConfig
+from repro.core.example import PAPER_TABLE1_SP, build_paper_adder
+from repro.sim.probes import SPProfile
+from repro.sta.aging_sta import AgingAwareSta, delay_increase_histogram
+from repro.sta.clocktree import ClockTree
+from repro.sta.timing import DelayModel, StaticTimingAnalyzer
+
+
+def _paper_profile(adder):
+    """Table 1's SP profile keyed by output-net names."""
+    sp = {}
+    for inst_name, value in PAPER_TABLE1_SP.items():
+        sp[adder.instances[inst_name].output_net.name] = value
+    # Input nets: assume balanced stimulus.
+    for net in adder.nets.values():
+        sp.setdefault(net.name, 0.5)
+    return SPProfile(netlist_name=adder.name, sp=sp, samples=1000)
+
+
+class TestFreshSta:
+    def test_paper_example_longest_path(self, paper_adder):
+        """§3.1: longest path d4->x7->x8->d10 accumulates 0.9 ns."""
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        analyzer.propagate()
+        d_net = paper_adder.instances["d10"].pins["D"]
+        assert analyzer.arrival_max(d_net.name) == pytest.approx(0.9)
+
+    def test_paper_example_shortest_path(self, paper_adder):
+        """§3.1: shortest path d1->x5->d9 has 0.2 ns minimum delay."""
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        analyzer.propagate()
+        d_net = paper_adder.instances["d9"].pins["D"]
+        assert analyzer.arrival_min(d_net.name) == pytest.approx(0.2)
+
+    def test_fresh_design_meets_1ghz(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        report = analyzer.check(period_ns=1.0)
+        assert report.violations == []
+        # Setup slack of the worst path: 1.0 - 0.06 - 0.9 = 0.04.
+        assert report.wns_setup_ns == pytest.approx(0.04)
+        # Hold slack: 0.2 - 0.03 = 0.17.
+        assert report.wns_hold_ns == pytest.approx(0.17)
+
+    def test_critical_delay(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        assert analyzer.critical_delay() == pytest.approx(0.96)
+
+    def test_too_fast_clock_creates_setup_violations(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        report = analyzer.check(period_ns=0.9)
+        setup = report.setup_violations()
+        assert setup
+        worst = min(setup, key=lambda v: v.slack)
+        assert worst.start == "d4" or worst.start == "d3"
+        assert worst.end == "d10"
+        # The specific paper path must be among the violations.
+        assert any(
+            v.start == "d4" and v.cells == ("x7", "x8") for v in setup
+        )
+
+    def test_path_enumeration_counts_distinct_routes(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        # At 0.9ns, required = 0.84; violating paths into d10 are the
+        # four 3-cell routes (d1/d2 via a6, d3/d4 via x7) at 0.9.
+        report = analyzer.check(period_ns=0.9)
+        into_d10 = [v for v in report.setup_violations() if v.end == "d10"]
+        assert len(into_d10) == 4
+        starts = sorted(v.start for v in into_d10)
+        assert starts == ["d1", "d2", "d3", "d4"]
+
+    def test_artificial_hold_violation(self, paper_adder):
+        """Pushing d9's capture clock late creates the §3.2 hold case."""
+        model = DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        model.clock_late = {"d9": 0.2}  # 200 ps late capture clock
+        analyzer = StaticTimingAnalyzer(paper_adder, model)
+        report = analyzer.check(period_ns=1.0)
+        hold = report.hold_violations()
+        assert hold
+        assert {v.endpoint_pair for v in hold} == {("d1", "d9"), ("d2", "d9")}
+
+    def test_unique_endpoint_pairs_ordering(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        report = analyzer.check(period_ns=0.9)
+        pairs = report.unique_endpoint_pairs()
+        assert len(pairs) == 4
+        assert all(pair[1] == "d10" for pair in pairs)
+
+    def test_representative_violations_one_per_pair(self, paper_adder):
+        analyzer = StaticTimingAnalyzer(
+            paper_adder, DelayModel.fresh(paper_adder, TYPICAL_CORNER)
+        )
+        report = analyzer.check(period_ns=0.9)
+        reps = report.representative_violations()
+        assert len(reps) == len(report.unique_endpoint_pairs())
+
+
+class TestClockTree:
+    def test_balanced_tree_zero_fresh_skew(self, paper_adder):
+        tree = ClockTree.build(paper_adder, fanout_per_leaf=2)
+        arrivals = tree.fresh_arrivals()
+        assert len(set(arrivals.values())) == 1
+
+    def test_every_dff_has_a_path(self, paper_adder):
+        tree = ClockTree.build(paper_adder, fanout_per_leaf=2)
+        assert set(tree.sink_paths) == {d.name for d in paper_adder.dffs()}
+
+    def test_ungated_tree_keeps_skew_small_after_aging(self, paper_adder, paper_lib):
+        tree = ClockTree.build(paper_adder, fanout_per_leaf=2)
+        lib = AgingTimingLibrary.characterize(paper_lib)
+        assert tree.max_phase_shift(lib) == pytest.approx(0.0, abs=1e-12)
+
+    def test_gating_creates_phase_shift(self, paper_adder, paper_lib):
+        gated = {"d9": 1.0}
+        tree = ClockTree.build(paper_adder, fanout_per_leaf=1, gated_sinks=gated)
+        lib = AgingTimingLibrary.characterize(paper_lib)
+        shift = tree.max_phase_shift(lib)
+        assert shift > 0.001  # > 1 ps of aging-induced skew
+
+    def test_gated_buffer_sp_drops(self, paper_adder):
+        gated = {d.name: 1.0 for d in paper_adder.dffs()}
+        tree = ClockTree.build(paper_adder, fanout_per_leaf=2, gated_sinks=gated)
+        assert all(buf.signal_probability == 0.0 for buf in tree.buffers)
+        free = ClockTree.build(paper_adder, fanout_per_leaf=2)
+        assert all(buf.signal_probability == 0.5 for buf in free.buffers)
+
+
+class TestAgingAwareSta:
+    def test_fresh_passes_aged_fails(self, paper_adder):
+        """The §3.2.2 example: aging pushes d4->x7->x8->d10 past setup."""
+        lib = AgingTimingLibrary.characterize(paper_adder.library)
+        sta = AgingAwareSta(
+            paper_adder,
+            lib,
+            config=AgingAnalysisConfig(clock_margin=0.042),
+            corner=TYPICAL_CORNER,
+        )
+        result = sta.analyze(_paper_profile(paper_adder), clock_period_ns=1.0)
+        assert result.fresh_report.violations == []
+        setup = result.report.setup_violations()
+        assert setup
+        pairs = {v.endpoint_pair for v in setup}
+        assert ("d4", "d10") in pairs
+
+    def test_aged_path_delay_near_paper_value(self, paper_adder):
+        """Paper: the aged long path accumulates ~0.946 ns."""
+        lib = AgingTimingLibrary.characterize(paper_adder.library)
+        sta = AgingAwareSta(paper_adder, lib, corner=TYPICAL_CORNER)
+        model, _ = sta.aged_delay_model(_paper_profile(paper_adder))
+        analyzer = StaticTimingAnalyzer(paper_adder, model)
+        analyzer.propagate()
+        d_net = paper_adder.instances["d10"].pins["D"]
+        launch = model.clock_late["d4"]
+        path_delay = analyzer.arrival_max(d_net.name) - launch
+        assert 0.93 < path_delay < 0.97
+
+    def test_delay_increase_distribution(self, paper_adder):
+        lib = AgingTimingLibrary.characterize(paper_adder.library)
+        sta = AgingAwareSta(paper_adder, lib, corner=TYPICAL_CORNER)
+        _, increase = sta.aged_delay_model(_paper_profile(paper_adder))
+        assert all(0.0 <= v < 0.10 for v in increase.values())
+        # x7 (SP 0.13) is the most stressed cell in the paper's example.
+        comb = {k: v for k, v in increase.items() if k.startswith(("x", "a"))}
+        assert max(comb, key=comb.get) == "x7"
+
+    def test_derive_period_leaves_margin(self, paper_adder):
+        lib = AgingTimingLibrary.characterize(paper_adder.library)
+        sta = AgingAwareSta(
+            paper_adder,
+            lib,
+            config=AgingAnalysisConfig(clock_margin=0.03),
+            corner=TYPICAL_CORNER,
+        )
+        assert sta.derive_period() == pytest.approx(0.96 * 1.03)
+
+    def test_histogram_sums_to_cell_count(self, paper_adder):
+        lib = AgingTimingLibrary.characterize(paper_adder.library)
+        sta = AgingAwareSta(paper_adder, lib, corner=TYPICAL_CORNER)
+        _, increase = sta.aged_delay_model(_paper_profile(paper_adder))
+        hist = delay_increase_histogram(increase)
+        assert sum(count for _, _, count in hist) == len(increase)
