@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lift", help="error lifting (phase 2)")
     _add_unit(p)
     _add_mitigation(p)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="shard endpoint pairs across N processes; 0 = one per CPU "
+             "(results are deterministic; serial fallback when fork is "
+             "unavailable)",
+    )
 
     p = sub.add_parser("suite", help="emit test-suite artifacts")
     _add_unit(p)
@@ -169,7 +175,7 @@ def cmd_sta(args, out) -> int:
 def cmd_lift(args, out) -> int:
     ctx = default_context()
     unit = ctx.unit(args.unit)
-    report = unit.lifting(args.mitigation)
+    report = unit.lifting(args.mitigation, workers=getattr(args, "workers", 1))
     print(f"unit: {args.unit}  mitigation: {args.mitigation}", file=out)
     for pair in report.pairs:
         print(f"  {pair.start} ~> {pair.end}: {pair.outcome.value} "

@@ -57,12 +57,24 @@ class ErrorLiftingConfig:
         bmc_conflict_budget: CDCL conflict budget per query; exhausting
             it yields the paper's "FF" (formal failure) outcome.
         constants: The constant wrong values C to try (Eq. 2/3).
+        workers: Process count for sharding endpoint pairs across
+            ``multiprocessing`` workers.  1 (the default) runs serially,
+            0 means one worker per CPU; platforms without ``fork``
+            silently fall back to serial.  Results are deterministic
+            regardless of the worker count.
+        incremental_bmc: Use the incremental BMC engine (one persistent
+            solver, cover gated behind assumption literals) instead of
+            rebuilding a fresh solver per unroll depth.  Verdicts and
+            traces are identical either way; the fresh path exists for
+            equivalence testing and benchmarking.
     """
 
     enable_mitigation: bool = False
     bmc_depth: int = 4
     bmc_conflict_budget: int = 200_000
     constants: Tuple[int, ...] = (0, 1)
+    workers: int = 1
+    incremental_bmc: bool = True
 
 
 @dataclass

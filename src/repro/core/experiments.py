@@ -120,12 +120,18 @@ class UnitExperiment:
         return self._sta
 
     # -- phase 2 -----------------------------------------------------------
-    def lifting(self, mitigation: bool) -> LiftingReport:
+    def lifting(self, mitigation: bool, workers: int = 1) -> LiftingReport:
+        """Lifting report (cached per mitigation flag).
+
+        ``workers`` only affects how fast the first, uncached run goes —
+        parallel and serial lifting produce identical reports.
+        """
         if mitigation not in self._lifting:
             config = ErrorLiftingConfig(
                 enable_mitigation=mitigation,
                 bmc_depth=self.context.config.lifting.bmc_depth,
                 bmc_conflict_budget=self.context.config.lifting.bmc_conflict_budget,
+                workers=workers,
             )
             lifter = ErrorLifter(self.netlist, config, self.mapper)
             self._lifting[mitigation] = lifter.lift(self.sta_result.report)

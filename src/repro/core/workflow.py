@@ -129,18 +129,26 @@ class VegaWorkflow:
         return profile, sta.analyze(profile, clock_period_ns=clock_period_ns)
 
     # Phase 2 ----------------------------------------------------------
-    def run_error_lifting(self, netlist: Netlist, sta_report, isa_mapper):
+    def run_error_lifting(
+        self,
+        netlist: Netlist,
+        sta_report,
+        isa_mapper,
+        workers: Optional[int] = None,
+    ):
         """Formal test construction for every unique endpoint pair.
 
         Accepts either a raw :class:`~repro.sta.timing.StaReport` or the
         :class:`~repro.sta.aging_sta.AgingStaResult` wrapper phase 1
-        produces.
+        produces.  ``workers`` overrides ``config.lifting.workers`` for
+        this run; pairs shard across processes with deterministic
+        result ordering.
         """
         from ..lifting.lifter import ErrorLifter
 
         report = getattr(sta_report, "report", sta_report)
         lifter = ErrorLifter(netlist, self.config.lifting, isa_mapper)
-        return lifter.lift(report)
+        return lifter.lift(report, workers=workers)
 
     # Phase 3 ----------------------------------------------------------
     def build_aging_library(self, lifting_report, name: str = "vega_tests"):

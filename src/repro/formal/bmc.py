@@ -156,106 +156,146 @@ def _static_coi(netlist: Netlist, targets: Sequence[str]) -> Set[str]:
     return instances
 
 
+@dataclass
+class _FramePlan:
+    """COI-reduced cell selection shared by every unrolled frame.
+
+    Computing the static cone of influence and the topological order
+    once per (netlist, objective-support) pair — instead of once per
+    depth — is one of the lifting-path caches: the same shadow netlist
+    is queried at depths 1, 2, … and the plan never changes.
+    """
+
+    comb_order: List[Instance]
+    dffs: List[Instance]
+    input_nets: List[str]
+
+
 class BoundedModelChecker:
-    """Unrolls a netlist and solves cover queries against it."""
+    """Unrolls a netlist and solves cover queries against it.
+
+    Two solving strategies share one frame encoder:
+
+    * **incremental** (default): one persistent :class:`SatSolver`
+      receives one frame's CNF per depth; the per-frame cover selector
+      is asserted as a solve-time *assumption literal*, so learned
+      clauses, variable activities, and saved phases carry over from
+      depth ``d`` to ``d+1``.
+    * **fresh** (``incremental=False``): the original rebuild-per-depth
+      loop, kept as the reference the incremental engine is equivalence-
+      tested (and benchmarked) against.
+    """
 
     def __init__(
         self,
         netlist: Netlist,
         assumptions: Sequence[InputAssumption] = (),
         conflict_budget: int = 200_000,
+        incremental: bool = True,
     ):
         netlist.validate()
         self.netlist = netlist
         self.assumptions = list(assumptions)
         self.conflict_budget = conflict_budget
+        self.incremental = incremental
+        self._plan_cache: Dict[Tuple[str, ...], _FramePlan] = {}
         for assumption in self.assumptions:
             if assumption.port not in netlist.ports:
                 raise ValueError(f"no input port {assumption.port!r}")
 
     # ------------------------------------------------------------------
-    def _unroll(
+    def _frame_plan(self, objective: CoverObjective) -> _FramePlan:
+        """COI reduction for ``objective``, cached per support set."""
+        key = tuple(sorted(set(objective.support())))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            coi = _static_coi(self.netlist, key)
+            plan = _FramePlan(
+                comb_order=[
+                    inst
+                    for inst in self.netlist.levelize()
+                    if inst.name in coi
+                ],
+                dffs=[d for d in self.netlist.dffs() if d.name in coi],
+                input_nets=sorted(
+                    net.name
+                    for port in self.netlist.input_ports()
+                    for net in port.nets
+                ),
+            )
+            self._plan_cache[key] = plan
+        return plan
+
+    def _add_frame(
         self,
-        depth: int,
+        solver: SatSolver,
+        frames: List[Dict[str, int]],
+        objective_vars: List[int],
         objective: CoverObjective,
-    ) -> Tuple[SatSolver, List[Dict[str, int]], List[int]]:
-        """Build the CNF for ``depth`` frames.
+        plan: _FramePlan,
+    ) -> None:
+        """Encode one more frame of the unrolling into ``solver``.
 
-        Returns (solver, per-frame net-to-var maps, per-frame objective
-        selector variables).  The final cover clause is *not* added —
-        the caller chooses exact-cycle or any-cycle semantics.
+        Appends the frame's net-to-var map to ``frames`` and its cover
+        selector variable to ``objective_vars``.  The selector is only
+        *implied* towards the conditions (``frame_obj -> conditions``):
+        asserting it positively — via a clause in the fresh path or an
+        assumption literal in the incremental path — forces the
+        objective at that cycle, while leaving it unconstrained keeps
+        the frame's CNF satisfiable by any circuit behaviour.
         """
-        solver = SatSolver()
-        coi = _static_coi(self.netlist, objective.support())
-        comb_order = [
-            inst for inst in self.netlist.levelize() if inst.name in coi
-        ]
-        dffs = [d for d in self.netlist.dffs() if d.name in coi]
-        input_nets = {
-            net.name
-            for port in self.netlist.input_ports()
-            for net in port.nets
-        }
-
-        frames: List[Dict[str, int]] = []
-        objective_vars: List[int] = []
-        for t in range(depth):
-            var_of: Dict[str, int] = {}
-            # Input nets: fresh free variables each frame.
-            for name in input_nets:
+        t = len(frames)
+        var_of: Dict[str, int] = {}
+        # Input nets: fresh free variables each frame.
+        for name in plan.input_nets:
+            var_of[name] = solver.new_var()
+        # DFF outputs: frame 0 pinned to init; later frames alias
+        # the previous frame's D-net variable.
+        for dff in plan.dffs:
+            q_name = dff.output_net.name
+            if t == 0:
+                q_var = solver.new_var()
+                solver.add_clause([q_var] if dff.init else [-q_var])
+                var_of[q_name] = q_var
+            else:
+                var_of[q_name] = frames[t - 1][dff.pins["D"].name]
+        # Combinational cells in topological order.
+        for inst in plan.comb_order:
+            out_name = inst.output_net.name
+            var_of[out_name] = solver.new_var()
+            missing = [
+                n.name
+                for n in inst.input_nets()
+                if n.name not in var_of
+            ]
+            for name in missing:
+                # Input outside the COI (e.g. a net fed by a
+                # non-COI cell was impossible by construction, but
+                # dangling module inputs may appear): free variable.
                 var_of[name] = solver.new_var()
-            # DFF outputs: frame 0 pinned to init; later frames alias
-            # the previous frame's D-net variable.
-            for dff in dffs:
-                q_name = dff.output_net.name
-                if t == 0:
-                    q_var = solver.new_var()
-                    solver.add_clause([q_var] if dff.init else [-q_var])
-                    var_of[q_name] = q_var
-                else:
-                    var_of[q_name] = frames[t - 1][dff.pins["D"].name]
-            # Combinational cells in topological order.
-            for inst in comb_order:
-                out_name = inst.output_net.name
-                var_of[out_name] = solver.new_var()
-                missing = [
-                    n.name
-                    for n in inst.input_nets()
-                    if n.name not in var_of
-                ]
-                for name in missing:
-                    # Input outside the COI (e.g. a net fed by a
-                    # non-COI cell was impossible by construction, but
-                    # dangling module inputs may appear): free variable.
-                    var_of[name] = solver.new_var()
-                encode_instance(solver, inst, var_of)
-            # Assumptions per frame.
-            for assumption in self.assumptions:
-                port = self.netlist.ports[assumption.port]
-                bit_vars = [var_of[n.name] for n in port.nets]
-                encode_in_set(solver, bit_vars, assumption.allowed)
-            # Objective selector for this frame.  Only the implication
-            # frame_obj -> conditions is needed: the caller asserts the
-            # selector positively, which forces the conditions, and SAT
-            # completeness follows because the selector is otherwise
-            # unconstrained.
-            or_vars: List[int] = []
-            for left, right in objective.differ:
-                or_vars.append(
-                    encode_xor_var(solver, var_of[left], var_of[right])
-                )
-            for name in objective.asserted:
-                or_vars.append(var_of[name])
-            all_vars = [var_of[name] for name in objective.asserted_all]
-            if or_vars or all_vars:
-                frame_obj = solver.new_var()
-                if or_vars:
-                    solver.add_clause([-frame_obj] + or_vars)
-                for v in all_vars:
-                    solver.add_clause([-frame_obj, v])
-                objective_vars.append(frame_obj)
-            frames.append(var_of)
-        return solver, frames, objective_vars
+            encode_instance(solver, inst, var_of)
+        # Assumptions per frame.
+        for assumption in self.assumptions:
+            port = self.netlist.ports[assumption.port]
+            bit_vars = [var_of[n.name] for n in port.nets]
+            encode_in_set(solver, bit_vars, assumption.allowed)
+        # Objective selector for this frame.
+        or_vars: List[int] = []
+        for left, right in objective.differ:
+            or_vars.append(
+                encode_xor_var(solver, var_of[left], var_of[right])
+            )
+        for name in objective.asserted:
+            or_vars.append(var_of[name])
+        all_vars = [var_of[name] for name in objective.asserted_all]
+        if or_vars or all_vars:
+            frame_obj = solver.new_var()
+            if or_vars:
+                solver.add_clause([-frame_obj] + or_vars)
+            for v in all_vars:
+                solver.add_clause([-frame_obj, v])
+            objective_vars.append(frame_obj)
+        frames.append(var_of)
 
     # ------------------------------------------------------------------
     def cover(
@@ -263,16 +303,88 @@ class BoundedModelChecker:
         objective: CoverObjective,
         max_depth: Optional[int] = None,
         observe: Sequence[str] = (),
+        incremental: Optional[bool] = None,
     ) -> BmcResult:
         """Find the shortest witness reaching the objective.
 
         Depths 1..max_depth are tried in order so the returned trace is
         minimal, matching the paper's emphasis on tiny test cases.
+        ``incremental`` overrides the checker-level strategy for this
+        query; both strategies return identical verdicts and trace
+        lengths (enforced by the equivalence test suite).
         """
+        if incremental is None:
+            incremental = self.incremental
         max_depth = max_depth or suggested_depth(self.netlist)
+        plan = self._frame_plan(objective)
+        if incremental:
+            return self._cover_incremental(objective, max_depth, observe, plan)
+        return self._cover_fresh(objective, max_depth, observe, plan)
+
+    def _cover_incremental(
+        self,
+        objective: CoverObjective,
+        max_depth: int,
+        observe: Sequence[str],
+        plan: _FramePlan,
+    ) -> BmcResult:
+        """One persistent solver; cover gated behind assumption literals.
+
+        Depth ``d`` adds frame ``d``'s CNF and solves under the single
+        assumption "frame ``d``'s selector holds".  Earlier selectors
+        revert to unconstrained, so the query is exactly the fresh
+        path's "objective at the last frame" — but the solver keeps its
+        learned clauses and heuristic state between depths.  Each depth
+        receives a fresh ``conflict_budget`` on top of the cumulative
+        conflict count.
+        """
+        solver = SatSolver()
+        frames: List[Dict[str, int]] = []
+        objective_vars: List[int] = []
+        for depth in range(1, max_depth + 1):
+            self._add_frame(solver, frames, objective_vars, objective, plan)
+            if not objective_vars:
+                raise ValueError("objective has no conditions")
+            result = solver.solve(
+                conflict_limit=solver.conflicts + self.conflict_budget,
+                assumptions=[objective_vars[-1]],
+            )
+            if result.status is SatStatus.UNKNOWN:
+                return BmcResult(
+                    BmcStatus.BUDGET_EXCEEDED,
+                    depth_checked=depth,
+                    conflicts=solver.conflicts,
+                )
+            if result.status is SatStatus.SAT:
+                trace = self._extract(result.model, frames, observe)
+                trace.property_cycle = depth - 1
+                return BmcResult(
+                    BmcStatus.COVERED,
+                    trace=trace,
+                    depth_checked=depth,
+                    conflicts=solver.conflicts,
+                )
+        return BmcResult(
+            BmcStatus.UNREACHABLE,
+            depth_checked=max_depth,
+            conflicts=solver.conflicts,
+        )
+
+    def _cover_fresh(
+        self,
+        objective: CoverObjective,
+        max_depth: int,
+        observe: Sequence[str],
+        plan: _FramePlan,
+    ) -> BmcResult:
+        """The seed engine: a fresh solver and full re-unroll per depth."""
         total_conflicts = 0
         for depth in range(1, max_depth + 1):
-            solver, frames, obj_vars = self._unroll(depth, objective)
+            solver = SatSolver()
+            frames: List[Dict[str, int]] = []
+            obj_vars: List[int] = []
+            for _ in range(depth):
+                self._add_frame(solver, frames, obj_vars, objective, plan)
             if not obj_vars:
                 raise ValueError("objective has no conditions")
             # Require the objective exactly at the last frame (earlier

@@ -70,6 +70,13 @@ class SatSolver:
         self._level: List[int] = [0]
         self._reason: List[Optional[_Clause]] = [None]
         self._activity: List[float] = [0.0]
+        # Max-heap of unassigned variables ordered by activity, with a
+        # position index so bumps can sift in place (MiniSat's order
+        # heap).  Keeps _decide O(log n) instead of scanning all vars —
+        # essential for incremental solving, where variables accumulate
+        # across BMC frames.
+        self._heap: List[int] = []
+        self._heap_pos: List[int] = [-1]
         self._phase: List[int] = [0]
         self._trail: List[int] = []  # internal lits, assignment order
         self._trail_lim: List[int] = []
@@ -98,15 +105,25 @@ class SatSolver:
         self._level.append(0)
         self._reason.append(None)
         self._activity.append(0.0)
+        self._heap_pos.append(-1)
         self._phase.append(0)
         self._watches.append([])
         self._watches.append([])
+        self._heap_insert(self._nvars)
         return self._nvars
 
     def add_clause(self, lits: Sequence[int]) -> None:
         """Add a clause of signed literals; duplicates and tautologies
-        are simplified away.  Adding while partially solved is not
-        supported — build the full CNF, then solve."""
+        are simplified away.
+
+        Clauses may also be added *between* :meth:`solve` calls — the
+        incremental BMC grows the CNF one frame at a time.  Literals
+        already falsified at the root level are dropped and clauses
+        already satisfied at the root level are skipped, which keeps the
+        two-watched-literal invariant intact across solves.  Adding
+        clauses while a search is suspended mid-decision is still
+        unsupported (``solve`` always returns at decision level 0).
+        """
         seen: Dict[int, int] = {}
         out: List[int] = []
         for lit in lits:
@@ -120,6 +137,16 @@ class SatSolver:
                 out.append(internal)
             elif prior != internal:
                 return  # tautology: v and -v in the same clause
+        # Root-level simplification: assignments at level 0 are
+        # permanent, so satisfied clauses vanish and false literals drop.
+        simplified: List[int] = []
+        for lit in out:
+            if self._val[lit >> 1] >= 0 and self._level[lit >> 1] == 0:
+                if self._lit_val(lit) == 1:
+                    return  # permanently satisfied
+                continue  # permanently false: drop the literal
+            simplified.append(lit)
+        out = simplified
         if not out:
             self._unsat = True
             return
@@ -284,13 +311,17 @@ class SatSolver:
             var = lit >> 1
             self._val[var] = -1
             self._reason[var] = None
+            self._heap_insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = len(self._trail)
 
     def _bump_var(self, var: int) -> None:
         self._activity[var] += self._var_inc
+        if self._heap_pos[var] >= 0:
+            self._heap_up(self._heap_pos[var])
         if self._activity[var] > 1e100:
+            # Uniform rescale: relative order (and the heap) is preserved.
             for i in range(1, self._nvars + 1):
                 self._activity[i] *= 1e-100
             self._var_inc *= 1e-100
@@ -304,17 +335,79 @@ class SatSolver:
                 c.activity *= 1e-20
             self._cla_inc *= 1e-20
 
+    # -- activity order heap -------------------------------------------
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] >= 0:
+            return
+        self._heap_pos[var] = len(self._heap)
+        self._heap.append(var)
+        self._heap_up(len(self._heap) - 1)
+
+    def _heap_up(self, index: int) -> None:
+        # Ties break toward the lower variable index, matching the
+        # linear scan this heap replaced (keeps witnesses stable).
+        heap, pos, activity = self._heap, self._heap_pos, self._activity
+        var = heap[index]
+        key = activity[var]
+        while index > 0:
+            parent = (index - 1) >> 1
+            pvar = heap[parent]
+            pkey = activity[pvar]
+            if pkey > key or (pkey == key and pvar < var):
+                break
+            heap[index] = pvar
+            pos[pvar] = index
+            index = parent
+        heap[index] = var
+        pos[var] = index
+
+    def _heap_down(self, index: int) -> None:
+        heap, pos, activity = self._heap, self._heap_pos, self._activity
+        var = heap[index]
+        key = activity[var]
+        size = len(heap)
+        while True:
+            child = 2 * index + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size:
+                ckey, rkey = activity[heap[child]], activity[heap[right]]
+                if rkey > ckey or (rkey == ckey and heap[right] < heap[child]):
+                    child = right
+            cvar = heap[child]
+            ckey = activity[cvar]
+            if key > ckey or (key == ckey and var < cvar):
+                break
+            heap[index] = cvar
+            pos[cvar] = index
+            index = child
+        heap[index] = var
+        pos[var] = index
+
+    def _heap_pop(self) -> int:
+        heap, pos = self._heap, self._heap_pos
+        top = heap[0]
+        pos[top] = -1
+        last = heap.pop()
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_down(0)
+        return top
+
     def _decide(self) -> int:
-        """Pick the unassigned variable with the highest activity."""
-        best = 0
-        best_activity = -1.0
+        """Pick the unassigned variable with the highest activity.
+
+        Assigned variables stay in the heap lazily; pop until an
+        unassigned one surfaces (they re-enter on backtrack).
+        """
         values = self._val
-        activity = self._activity
-        for var in range(1, self._nvars + 1):
-            if values[var] < 0 and activity[var] > best_activity:
-                best = var
-                best_activity = activity[var]
-        return best
+        while self._heap:
+            var = self._heap_pop()
+            if values[var] < 0:
+                return var
+        return 0
 
     def _reduce_db(self) -> None:
         """Drop the colder half of the learned clauses."""
@@ -342,11 +435,33 @@ class SatSolver:
     # ------------------------------------------------------------------
     # solving
     # ------------------------------------------------------------------
-    def solve(self, conflict_limit: Optional[int] = None) -> SatResult:
+    def solve(
+        self,
+        conflict_limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+    ) -> SatResult:
+        """Search for a model, optionally under ``assumptions``.
+
+        ``assumptions`` are signed literals treated as forced first
+        decisions (MiniSat-style): an UNSAT result under assumptions
+        does *not* poison the solver — learned clauses, activities, and
+        saved phases persist, and the next :meth:`solve` call may use
+        different assumptions or follow :meth:`add_clause` extensions.
+        ``conflict_limit`` bounds the solver's *cumulative* conflict
+        count (``self.conflicts``), matching its lifetime statistics.
+        """
         if self._unsat:
             return SatResult(SatStatus.UNSAT)
+        self._backtrack(0)
         if self._propagate() is not None:
+            self._unsat = True
             return SatResult(SatStatus.UNSAT)
+        assume: List[int] = []
+        for lit in assumptions:
+            var = abs(lit)
+            if var == 0 or var > self._nvars:
+                raise ValueError(f"unknown variable in assumption {lit}")
+            assume.append((var << 1) | (lit < 0))
 
         restart_interval = 100.0
         conflicts_until_restart = restart_interval
@@ -358,6 +473,7 @@ class SatSolver:
                 self.conflicts += 1
                 conflicts_until_restart -= 1
                 if not self._trail_lim:
+                    self._unsat = True
                     return SatResult(
                         SatStatus.UNSAT,
                         conflicts=self.conflicts,
@@ -398,6 +514,32 @@ class SatSolver:
                 conflicts_until_restart = restart_interval
                 restart_interval *= 1.5
                 self._backtrack(0)
+                continue
+
+            if len(self._trail_lim) < len(assume):
+                # Re-take pending assumptions as forced decisions, one
+                # decision level per assumption (dummy levels for
+                # assumptions already implied true keep the level <->
+                # assumption correspondence intact across backjumps).
+                lit = assume[len(self._trail_lim)]
+                value = self._lit_val(lit)
+                if value == 1:
+                    self._trail_lim.append(len(self._trail))
+                    continue
+                if value == 0:
+                    # The formula (plus earlier assumptions) implies the
+                    # negation: UNSAT under these assumptions only.
+                    result = SatResult(
+                        SatStatus.UNSAT,
+                        conflicts=self.conflicts,
+                        decisions=self.decisions,
+                        propagations=self.propagations,
+                    )
+                    self._backtrack(0)
+                    return result
+                self.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
                 continue
 
             var = self._decide()

@@ -125,15 +125,26 @@ class ErrorLifter:
         self.mapper = mapper
 
     # ------------------------------------------------------------------
-    def lift(self, sta_report: StaReport) -> LiftingReport:
-        """Process every unique endpoint pair of ``sta_report``."""
+    def lift(
+        self, sta_report: StaReport, workers: Optional[int] = None
+    ) -> LiftingReport:
+        """Process every unique endpoint pair of ``sta_report``.
+
+        Pairs are independent, so with ``workers > 1`` (argument or
+        ``config.workers``) they are sharded across processes via
+        :mod:`repro.lifting.parallel`; results keep the serial order.
+        """
+        from .parallel import lift_pairs
+
+        if workers is None:
+            workers = self.config.workers
         report = LiftingReport(
             netlist_name=self.netlist.name,
             unit=self.mapper.unit if self.mapper else "raw",
             mitigation=self.config.enable_mitigation,
         )
-        for violation in sta_report.representative_violations():
-            report.pairs.append(self.lift_pair(violation))
+        violations = list(sta_report.representative_violations())
+        report.pairs.extend(lift_pairs(self, violations, workers=workers))
         return report
 
     def lift_pair(self, violation: TimingViolation) -> PairResult:
@@ -166,6 +177,7 @@ class ErrorLifter:
             instrumentation.netlist,
             assumptions=assumptions,
             conflict_budget=self.config.bmc_conflict_budget,
+            incremental=self.config.incremental_bmc,
         )
         objective = CoverObjective(differ=instrumentation.output_pairs)
         observe = [

@@ -1,0 +1,92 @@
+"""Parallel fan-out of Error Lifting across endpoint pairs.
+
+Every unique endpoint pair of the STA report is an independent unit of
+work: it clones its own shadow netlist, runs its own BMC queries, and
+produces its own :class:`~repro.lifting.lifter.PairResult`.  This module
+shards those pairs across ``multiprocessing`` workers:
+
+* the netlist, config, and mapper travel to each worker **once** (via
+  the pool initializer — with the ``fork`` start method they are
+  inherited copy-on-write, never pickled);
+* per-pair tasks carry only the :class:`~repro.sta.timing.TimingViolation`
+  and an index, and results are re-assembled **in submission order**, so
+  a parallel run is bit-identical to a serial one;
+* platforms without ``fork`` (or ``workers <= 1``, or a pool that fails
+  to come up) fall back to the serial loop transparently.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sta.timing import TimingViolation
+    from .lifter import ErrorLifter, PairResult
+
+#: Per-worker lifter, installed by :func:`_init_worker` after the fork.
+_WORKER_LIFTER: Optional["ErrorLifter"] = None
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _init_worker(netlist, config, mapper) -> None:
+    """Build one lifter per worker process (netlist shipped once)."""
+    global _WORKER_LIFTER
+    import dataclasses
+
+    from .lifter import ErrorLifter
+
+    # Workers must not recurse into their own pools.
+    _WORKER_LIFTER = ErrorLifter(
+        netlist, dataclasses.replace(config, workers=1), mapper
+    )
+
+
+def _lift_one(task: Tuple[int, "TimingViolation"]) -> Tuple[int, "PairResult"]:
+    index, violation = task
+    assert _WORKER_LIFTER is not None
+    return index, _WORKER_LIFTER.lift_pair(violation)
+
+
+def lift_pairs(
+    lifter: "ErrorLifter",
+    violations: Sequence["TimingViolation"],
+    workers: int = 1,
+) -> List["PairResult"]:
+    """Lift every violation, sharded across ``workers`` processes.
+
+    Results come back ordered like ``violations`` regardless of which
+    worker finished first.  ``workers <= 0`` means "one per CPU" —
+    lifting is CPU-bound, so extra processes beyond the core count only
+    add fork/pickle overhead.  Serial execution (identical code path to
+    ``[lifter.lift_pair(v) for v in violations]``) is used when the
+    effective worker count is 1, when there is at most one pair to
+    process, or when the platform lacks the ``fork`` start method.
+    """
+    violations = list(violations)
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    workers = min(workers, len(violations)) if violations else 1
+    if workers <= 1 or not fork_available():
+        return [lifter.lift_pair(v) for v in violations]
+    ctx = multiprocessing.get_context("fork")
+    try:
+        with ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(lifter.netlist, lifter.config, lifter.mapper),
+        ) as pool:
+            indexed = pool.map(_lift_one, list(enumerate(violations)))
+    except (OSError, ValueError):  # pool could not start: degrade
+        return [lifter.lift_pair(v) for v in violations]
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _, result in indexed]

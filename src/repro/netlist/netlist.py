@@ -90,6 +90,17 @@ class Netlist:
         self.instances: Dict[str, Instance] = {}
         self.ports: Dict[str, Port] = {}
         self._uid = 0
+        # Structural version counter: bumped by every mutation so that
+        # derived caches (levelize order, compiled simulators) can be
+        # invalidated without tracking individual edits.
+        self._version = 0
+        self._topo_cache: Optional[List[Instance]] = None
+        self._topo_version = -1
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter of structural mutations (for cache keys)."""
+        return self._version
 
     # ------------------------------------------------------------------
     # construction
@@ -108,6 +119,7 @@ class Netlist:
             raise NetlistError(f"net {name!r} already exists")
         net = Net(name=name)
         self.nets[name] = net
+        self._version += 1
         return net
 
     def get_net(self, name: str) -> Net:
@@ -172,6 +184,7 @@ class Netlist:
         for pin_name in ctype.inputs:
             pins[pin_name].loads.append((inst, pin_name))
         self.instances[name] = inst
+        self._version += 1
         return inst
 
     def remove_instance(self, name: str) -> None:
@@ -181,6 +194,7 @@ class Netlist:
         for pin_name in inst.ctype.inputs:
             net = inst.pins[pin_name]
             net.loads = [(i, p) for (i, p) in net.loads if i is not inst]
+        self._version += 1
 
     def rewire_input(self, inst: Instance, pin: str, new_net: Net) -> None:
         """Reconnect one input pin of ``inst`` to ``new_net``."""
@@ -190,6 +204,7 @@ class Netlist:
         old.loads = [(i, p) for (i, p) in old.loads if not (i is inst and p == pin)]
         inst.pins[pin] = new_net
         new_net.loads.append((inst, pin))
+        self._version += 1
 
     # ------------------------------------------------------------------
     # queries
@@ -243,7 +258,19 @@ class Netlist:
         """Topologically order combinational instances.
 
         DFF outputs and primary inputs are sources.  Raises on loops.
+        The order is memoized per structural version — the simulator
+        compiler, STA, and BMC unroller all call this on hot paths —
+        and any mutation invalidates it.  A fresh list is returned each
+        call so callers may mutate the netlist while iterating.
         """
+        if self._topo_cache is not None and self._topo_version == self._version:
+            return list(self._topo_cache)
+        order = self._levelize_uncached()
+        self._topo_cache = order
+        self._topo_version = self._version
+        return list(order)
+
+    def _levelize_uncached(self) -> List[Instance]:
         order: List[Instance] = []
         # Remaining unseen combinational fanin count per instance.
         pending: Dict[str, int] = {}

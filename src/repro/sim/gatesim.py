@@ -16,9 +16,19 @@ Python fast enough for whole-workload signal-probability profiling:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import weakref
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..netlist.netlist import Instance, Net, Netlist
+
+#: Compiled evaluation functions, keyed by netlist identity and tagged
+#: with the netlist's structural version.  Building a simulator for the
+#: same (unmodified) netlist twice — the Error Lifter does this once per
+#: golden-output replay — then reuses the compiled bytecode instead of
+#: re-exec'ing the generated source.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Netlist, Tuple[int, Callable]]" = (
+    weakref.WeakKeyDictionary()
+)
 
 _GATE_EXPR = {
     "BUF": "{a}",
@@ -55,8 +65,16 @@ def pack_vectors(values: Sequence[int], width: int) -> List[int]:
     return planes
 
 
-def unpack_vectors(planes: Sequence[int], count: int) -> List[int]:
-    """Inverse of :func:`pack_vectors` for ``count`` stimulus vectors."""
+def unpack_vectors(
+    planes: Sequence[int], count: int, strict: bool = True
+) -> List[int]:
+    """Inverse of :func:`pack_vectors` for ``count`` stimulus vectors.
+
+    A plane bit at vector index >= ``count`` indicates a mask/count
+    mismatch upstream (the planes were simulated with a wider mask than
+    the caller believes) and raises :class:`ValueError`; pass
+    ``strict=False`` to truncate such bits deliberately.
+    """
     values = [0] * count
     for bit_index, plane in enumerate(planes):
         rest = plane
@@ -65,6 +83,12 @@ def unpack_vectors(planes: Sequence[int], count: int) -> List[int]:
             vec = low.bit_length() - 1
             if vec < count:
                 values[vec] |= 1 << bit_index
+            elif strict:
+                raise ValueError(
+                    f"plane {bit_index} has a bit at vector index {vec}, "
+                    f"beyond the {count} vectors requested — mask/count "
+                    "mismatch (pass strict=False to truncate)"
+                )
             rest ^= low
     return values
 
@@ -106,6 +130,21 @@ class GateSimulator:
 
     # ------------------------------------------------------------------
     def _compile(self):
+        """Compiled evaluation function, reused across simulators.
+
+        The generated source depends only on the netlist's structure, so
+        the exec'd function is cached per (netlist, structural version)
+        and shared by every :class:`GateSimulator` over that netlist.
+        """
+        cached = _COMPILE_CACHE.get(self.netlist)
+        version = self.netlist.version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        fn = self._compile_uncached()
+        _COMPILE_CACHE[self.netlist] = (version, fn)
+        return fn
+
+    def _compile_uncached(self):
         """Build the straight-line evaluation function."""
         order = self.netlist.levelize()
         lines = ["def _cycle(vals, mask):"]
@@ -138,9 +177,13 @@ class GateSimulator:
         """Apply the reset state: every DFF returns to its init value.
 
         In bit-parallel mode the init bit is broadcast to all vectors on
-        the next :meth:`step` via the mask.
+        the next :meth:`step` via the mask.  The reset width is not yet
+        known here (the mask arrives with the stimulus), so an init of 1
+        is stored as the all-ones integer ``-1`` — ``-1 & mask`` in
+        :meth:`_load_state` then broadcasts it to every vector, however
+        wide the next packed stimulus turns out to be.
         """
-        self.state = [d.init for d in self._dffs]
+        self.state = [-1 if d.init else 0 for d in self._dffs]
         self.cycle_count = 0
 
     def _apply_inputs(self, inputs: Dict[str, int], mask: int) -> None:
@@ -160,6 +203,7 @@ class GateSimulator:
     def _apply_packed_inputs(
         self, inputs: Dict[str, Sequence[int]], mask: int
     ) -> None:
+        consumed = set()
         for port in self.netlist.input_ports():
             planes = inputs.get(port.name)
             if planes is None:
@@ -169,8 +213,12 @@ class GateSimulator:
                     f"port {port.name!r} needs {port.width} planes, "
                     f"got {len(planes)}"
                 )
+            consumed.add(port.name)
             for bit_index, net in enumerate(port.nets):
                 self.values[self._net_index[net.name]] = planes[bit_index] & mask
+        extra = set(inputs) - consumed
+        if extra:
+            raise SimulationError(f"unknown input ports {sorted(extra)}")
 
     def _load_state(self, mask: int) -> None:
         for q_idx, value in zip(self._dff_q_index, self.state):

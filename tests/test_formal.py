@@ -447,3 +447,114 @@ class TestDratProof:
                 checker.add_clause([-literal])
             assert checker.solve().status is SatStatus.UNSAT
             prefix.append(learned)
+
+
+class TestSolverAssumptions:
+    """MiniSat-style assumption solving for the incremental BMC."""
+
+    def test_unsat_under_assumptions_is_not_global(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve(assumptions=[-a, -b]).status is SatStatus.UNSAT
+        # The formula itself is still satisfiable; the solver must
+        # recover fully after an UNSAT-under-assumptions verdict.
+        assert s.solve().status is SatStatus.SAT
+        again = s.solve(assumptions=[-a])
+        assert again.status is SatStatus.SAT
+        assert again.model[b]
+
+    def test_contradictory_assumptions(self):
+        s = SatSolver()
+        a = s.new_var()
+        s.add_clause([a, -a])  # tautology, ignored
+        assert s.solve(assumptions=[a, -a]).status is SatStatus.UNSAT
+        assert s.solve().status is SatStatus.SAT
+
+    def test_assumption_already_true_at_root(self):
+        # Root-level units make assumptions pre-satisfied; the solver
+        # inserts dummy decision levels so later assumptions still get
+        # their own level to backtrack to.
+        s = SatSolver()
+        a, b, c = s.new_var(), s.new_var(), s.new_var()
+        s.add_clause([a])
+        s.add_clause([-a, b])
+        result = s.solve(assumptions=[a, b, c])
+        assert result.status is SatStatus.SAT
+        assert result.model[a] and result.model[b] and result.model[c]
+
+    def test_assumptions_direct_the_model(self):
+        s = SatSolver()
+        lits = [s.new_var() for _ in range(4)]
+        s.add_clause(lits)
+        for var in lits:
+            result = s.solve(
+                assumptions=[var] + [-other for other in lits if other != var]
+            )
+            assert result.status is SatStatus.SAT
+            assert result.model[var]
+            assert not any(result.model[o] for o in lits if o != var)
+
+    def test_clauses_added_between_solves(self):
+        s = SatSolver()
+        a, b = s.new_var(), s.new_var()
+        s.add_clause([a, b])
+        assert s.solve().status is SatStatus.SAT
+        s.add_clause([-a])
+        result = s.solve()
+        assert result.status is SatStatus.SAT
+        assert result.model[b]
+        s.add_clause([-b])
+        # Now globally UNSAT - and it stays that way.
+        assert s.solve().status is SatStatus.UNSAT
+        assert s.solve(assumptions=[a]).status is SatStatus.UNSAT
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_assumptions_agree_with_unit_clauses(self, seed):
+        """solve(assumptions=A) on F == fresh solve of F + units(A)."""
+        import random
+
+        rng = random.Random(seed)
+        nvars = rng.randint(3, 7)
+        clauses = [
+            [
+                rng.choice([1, -1]) * rng.randint(1, nvars)
+                for _ in range(rng.randint(1, 3))
+            ]
+            for _ in range(rng.randint(2, 16))
+        ]
+        assumptions = [
+            rng.choice([1, -1]) * v
+            for v in rng.sample(range(1, nvars + 1), rng.randint(0, 3))
+        ]
+
+        incremental = SatSolver()
+        for _ in range(nvars):
+            incremental.new_var()
+        for clause in clauses:
+            incremental.add_clause(clause)
+        # Exercise solver-state reuse: solve unconstrained first, then
+        # under assumptions (the incremental BMC's usage pattern).
+        incremental.solve()
+        under = incremental.solve(assumptions=assumptions)
+
+        fresh = SatSolver()
+        for _ in range(nvars):
+            fresh.new_var()
+        for clause in clauses:
+            fresh.add_clause(clause)
+        for lit in assumptions:
+            fresh.add_clause([lit])
+        expected = fresh.solve()
+
+        assert under.status is expected.status
+        if under.status is SatStatus.SAT:
+            model = under.model
+            assert all(
+                model[abs(lit)] is (lit > 0) for lit in assumptions
+            )
+            assert all(
+                any(model[abs(l)] is (l > 0) for l in clause)
+                for clause in clauses
+            )
