@@ -7,6 +7,7 @@ would be packaged for a silicon/reliability team:
 command        effect
 =============  =====================================================
 workloads      list the embench-style benchmark programs
+profile        phase 1 front half: cached/parallel SP profiling + aged STA
 sta            phase 1: SP profiling + aging-aware STA for a unit
 lift           phase 2: formal test construction (Table 4 view)
 suite          emit test-suite artifacts (assembly / C / routine)
@@ -50,6 +51,31 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list benchmark workloads")
+
+    p = sub.add_parser(
+        "profile",
+        help="SP profiling + aged delay model (phase 1, parallel + cached)",
+    )
+    _add_unit(p)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="shard the workload's cycle ranges across N profiling "
+             "processes; 0 = one per CPU (profiles are bit-identical "
+             "for any worker count; serial fallback without fork)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the content-addressed artifact cache and re-simulate",
+    )
+    p.add_argument(
+        "--cache-dir", default=".vega-cache",
+        help="artifact cache root (default: .vega-cache)",
+    )
+    p.add_argument(
+        "--reference-sta", action="store_true",
+        help="use the dict-walking reference STA instead of the "
+             "vectorized engine (for A/B comparison)",
+    )
 
     p = sub.add_parser("sta", help="aging analysis (phase 1)")
     _add_unit(p)
@@ -133,6 +159,51 @@ def cmd_workloads(args, out) -> int:
 
     for name, workload in sorted(WORKLOADS.items()):
         print(f"{name:12s} [{workload.kind}] {workload.description}", file=out)
+    return 0
+
+
+def cmd_profile(args, out) -> int:
+    import time
+
+    from .core.config import AgingAnalysisConfig, VegaConfig
+    from .core.workflow import VegaWorkflow
+    from .workloads import REPRESENTATIVE
+
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    config = VegaConfig(
+        aging=AgingAnalysisConfig(
+            profile_workers=args.workers,
+            sta_vectorized=not args.reference_sta,
+        ),
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    workflow = VegaWorkflow(config)
+    start = time.perf_counter()
+    profile, result = workflow.run_aging_analysis(
+        unit.netlist,
+        ctx.stream(args.unit),
+        gated_instances=unit.gated_instances(),
+        workload_id=f"{args.unit}:{REPRESENTATIVE}",
+    )
+    elapsed = time.perf_counter() - start
+    print(f"unit: {args.unit} ({unit.netlist.stats()['_cells']} cells)",
+          file=out)
+    print(f"profiled {profile.samples} samples "
+          f"({len(profile.sp)} nets) in {elapsed:.3f}s "
+          f"[workers={args.workers}, "
+          f"sta={'reference' if args.reference_sta else 'vectorized'}]",
+          file=out)
+    print(f"derived period: {result.period_ns:.3f} ns", file=out)
+    print(f"aged violations: {len(result.report.violations)} "
+          f"({len(result.report.unique_endpoint_pairs())} unique pairs)",
+          file=out)
+    if workflow.last_cache_stats is not None:
+        hits, misses = workflow.last_cache_stats
+        print(f"artifact cache: {hits} hit(s), {misses} miss(es) "
+              f"at {args.cache_dir}", file=out)
+    else:
+        print("artifact cache: disabled", file=out)
     return 0
 
 
@@ -331,6 +402,7 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "workloads": cmd_workloads,
+        "profile": cmd_profile,
         "sta": cmd_sta,
         "lift": cmd_lift,
         "suite": cmd_suite,

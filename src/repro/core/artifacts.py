@@ -1,4 +1,4 @@
-"""Artifact export: the circuit-level failure-model library.
+"""Artifact export and the content-addressed artifact cache.
 
 The paper's third contribution: "We provide a set of circuit-level
 failure models for the analyzed hardware to facilitate future research
@@ -11,14 +11,22 @@ FPGA.
 mode) plus a JSON index describing each model's violation, trigger
 condition, and provenance; :func:`export_suite_artifacts` writes the
 software side (assembly suite, C library, spliceable routine).
+
+:class:`ArtifactCache` is the phase-1 memo store: SP profiles and aged
+delay models are *pure functions* of (netlist structure, workload
+content, cycle count, aging parameters, corner), so they are cached on
+disk under a sha256 of exactly those inputs.  Repeated
+``VegaWorkflow.run_aging_analysis`` or benchmark invocations then reuse
+the artifacts instead of re-simulating the workload.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..integration.library_gen import AgingLibrary
 from ..lifting.instrument import FailingNetlist
@@ -43,6 +51,112 @@ class ArtifactIndex:
             },
             indent=2,
         )
+
+
+class ArtifactCache:
+    """Content-addressed on-disk store for phase-1 artifacts.
+
+    Entries live at ``<root>/<kind>/<key[:2]>/<key>.json`` where ``key``
+    is :meth:`digest` over every input the artifact depends on.  There
+    is deliberately no invalidation protocol: a changed input changes
+    the key, and stale entries simply stop being addressed.
+
+    ``hits``/``misses`` count lookups for reporting and tests.
+    """
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def digest(*parts: Any) -> str:
+        """sha256 over the canonical JSON encoding of ``parts``."""
+        payload = json.dumps(parts, sort_keys=True, default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @staticmethod
+    def stream_digest(operands: Sequence[Mapping[str, int]]) -> str:
+        """Content id of an operand stream (workload identity).
+
+        Hashes the per-operation port values in order, so the same
+        recorded workload addresses the same cache entry in any process.
+        """
+        h = hashlib.sha256()
+        for op in operands:
+            for name in sorted(op):
+                h.update(f"{name}={op[name]};".encode())
+            h.update(b"\n")
+        return h.hexdigest()
+
+    # -- raw text entries ----------------------------------------------
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / kind / key[:2] / f"{key}.json"
+
+    def load(self, kind: str, key: str) -> Optional[str]:
+        path = self._path(kind, key)
+        try:
+            text = path.read_text()
+        except OSError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return text
+
+    def store(self, kind: str, key: str, text: str) -> pathlib.Path:
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(text)
+        tmp.replace(path)  # atomic publish: readers never see partials
+        return path
+
+    # -- typed entries -------------------------------------------------
+    def load_profile(self, key: str):
+        from ..sim.probes import SPProfile
+
+        text = self.load("sp-profile", key)
+        return SPProfile.from_json(text) if text is not None else None
+
+    def store_profile(self, key: str, profile) -> None:
+        self.store("sp-profile", key, profile.to_json())
+
+    def load_delay_model(self, key: str):
+        """Cached (DelayModel, delay_increase) or None."""
+        from ..aging.corners import OperatingCorner
+        from ..sta.timing import DelayModel
+
+        text = self.load("aged-delays", key)
+        if text is None:
+            return None
+        data = json.loads(text)
+        model = DelayModel(
+            delays={
+                name: (pair[0], pair[1])
+                for name, pair in data["delays"].items()
+            },
+            clock_early=dict(data["clock_early"]),
+            clock_late=dict(data["clock_late"]),
+            corner=OperatingCorner(**data["corner"]),
+        )
+        return model, dict(data["increase"])
+
+    def store_delay_model(self, key: str, model, increase: Dict[str, float]) -> None:
+        import dataclasses
+
+        payload = {
+            "delays": {
+                name: [tmin, tmax]
+                for name, (tmin, tmax) in model.delays.items()
+            },
+            "clock_early": model.clock_early,
+            "clock_late": model.clock_late,
+            "corner": dataclasses.asdict(model.corner),
+            "increase": increase,
+        }
+        self.store("aged-delays", key, json.dumps(payload, sort_keys=True))
 
 
 def export_failure_models(

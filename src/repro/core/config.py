@@ -9,7 +9,7 @@ budget for profile-guided integration).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 #: Seconds in one year, used when converting lifetimes for the BTI model.
 SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
@@ -35,6 +35,17 @@ class AgingAnalysisConfig:
             gating parks the gated subtree at a constant level, the
             paper's "primary cause of uneven transistor aging" in the
             clock network (§2.3.1).
+        profile_workers: Process count for sharding SP profiling across
+            ``multiprocessing`` workers (chunked per workload and cycle
+            range).  1 runs serially, 0 means one worker per CPU;
+            profiles are bit-identical regardless of the worker count,
+            and platforms without ``fork`` fall back to serial.
+        profile_lanes: Packed (bit-parallel) stimulus vectors per
+            simulated word during SP profiling.
+        sta_vectorized: Use the numpy levelized arrival propagation in
+            the STA.  Arrival times are bit-identical to the dict-based
+            reference (kept behind ``vectorized=False`` for equivalence
+            testing); this flag exists for A/B benchmarking.
     """
 
     lifetime_years: float = 10.0
@@ -42,6 +53,9 @@ class AgingAnalysisConfig:
     clock_margin: float = 0.03
     max_paths_per_endpoint: int = 400
     clock_gating_sp: float = 0.02
+    profile_workers: int = 1
+    profile_lanes: int = 256
+    sta_vectorized: bool = True
 
 
 @dataclass
@@ -106,13 +120,22 @@ class TestIntegrationConfig:
 
 @dataclass
 class VegaConfig:
-    """Top-level configuration: one section per workflow phase."""
+    """Top-level configuration: one section per workflow phase.
+
+    Attributes:
+        cache_dir: Root of the content-addressed artifact cache.  When
+            set, ``run_aging_analysis`` stores/reuses SP profiles and
+            aged delay models keyed by (netlist structural hash,
+            workload content, cycle count, aging parameters, corner).
+            ``None`` disables caching.
+    """
 
     aging: AgingAnalysisConfig = field(default_factory=AgingAnalysisConfig)
     lifting: ErrorLiftingConfig = field(default_factory=ErrorLiftingConfig)
     integration: TestIntegrationConfig = field(
         default_factory=TestIntegrationConfig
     )
+    cache_dir: Optional[str] = None
 
     def with_mitigation(self, enabled: bool = True) -> "VegaConfig":
         """Copy of this config with the §3.3.4 mitigation toggled."""

@@ -96,11 +96,48 @@ class Netlist:
         self._version = 0
         self._topo_cache: Optional[List[Instance]] = None
         self._topo_version = -1
+        self._hash_cache: Optional[str] = None
+        self._hash_version = -1
 
     @property
     def version(self) -> int:
         """Monotonic counter of structural mutations (for cache keys)."""
         return self._version
+
+    def structural_hash(self) -> str:
+        """Content hash of the netlist's structure (hex sha256).
+
+        Unlike :attr:`version` — an in-process identity counter — this
+        digest depends only on the netlist's *content* (ports, nets,
+        instances, pin wiring, init values, cell timing), so two
+        processes that synthesize the same design derive the same key.
+        It addresses the artifact cache: any structural edit changes the
+        digest and orphans stale cached profiles/delay models.  Memoized
+        per structural version.
+        """
+        if self._hash_cache is not None and self._hash_version == self._version:
+            return self._hash_cache
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(f"netlist {self.name}\n".encode())
+        for port in sorted(self.ports.values(), key=lambda p: p.name):
+            nets = ",".join(n.name for n in port.nets)
+            h.update(f"port {port.name} {port.direction} [{nets}]\n".encode())
+        for inst in sorted(self.instances.values(), key=lambda i: i.name):
+            pins = ",".join(
+                f"{pin}={net.name}" for pin, net in sorted(inst.pins.items())
+            )
+            cell = (
+                f"{inst.ctype.name}:{inst.ctype.tmin!r}:{inst.ctype.tmax!r}"
+            )
+            h.update(
+                f"inst {inst.name} {cell} init={inst.init} {pins}\n".encode()
+            )
+        digest = h.hexdigest()
+        self._hash_cache = digest
+        self._hash_version = self._version
+        return digest
 
     # ------------------------------------------------------------------
     # construction

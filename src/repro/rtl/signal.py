@@ -34,12 +34,19 @@ class Bit:
     identity hash to avoid O(depth) recursive hashing on deep DAGs.
     """
 
-    __slots__ = ("op", "args", "tag")
+    __slots__ = ("op", "args", "tag", "uid")
 
-    def __init__(self, op: str, args: Tuple["Bit", ...] = (), tag: object = None):
+    def __init__(
+        self,
+        op: str,
+        args: Tuple["Bit", ...] = (),
+        tag: object = None,
+        uid: int = 0,
+    ):
         self.op = op
         self.args = args
         self.tag = tag
+        self.uid = uid
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.op in ("in", "reg"):
@@ -64,6 +71,7 @@ class Module:
         self.outputs: Dict[str, "Signal"] = {}
         self.registers: Dict[str, "Register"] = {}
         self._intern: Dict[Tuple, Bit] = {}
+        self._next_uid = 0
 
     # -- bit factory ---------------------------------------------------
     def _mk(self, op: str, args: Tuple[Bit, ...] = (), tag: object = None) -> Bit:
@@ -72,7 +80,8 @@ class Module:
         key = (op, tuple(id(a) for a in args), tag)
         bit = self._intern.get(key)
         if bit is None:
-            bit = Bit(op, args, tag)
+            bit = Bit(op, args, tag, uid=self._next_uid)
+            self._next_uid += 1
             self._intern[key] = bit
         return bit
 
@@ -98,7 +107,7 @@ class Module:
             return self.const_bit(0)
         if b.op == "not" and b.args[0] is a:
             return self.const_bit(0)
-        if id(a) > id(b):  # canonical operand order improves sharing
+        if a.uid > b.uid:  # canonical (deterministic) operand order
             a, b = b, a
         return self._mk("and", (a, b))
 
@@ -113,7 +122,7 @@ class Module:
             return self.const_bit(1)
         if b.op == "not" and b.args[0] is a:
             return self.const_bit(1)
-        if id(a) > id(b):
+        if a.uid > b.uid:
             a, b = b, a
         return self._mk("or", (a, b))
 
@@ -124,7 +133,7 @@ class Module:
             return b if not a.tag else self.b_not(b)
         if b.op == "const":
             return a if not b.tag else self.b_not(a)
-        if id(a) > id(b):
+        if a.uid > b.uid:
             a, b = b, a
         return self._mk("xor", (a, b))
 

@@ -4,7 +4,13 @@ from .gatesim import (
     GateSimulator,
     SimulationError,
     pack_vectors,
+    simulated_cycles,
     unpack_vectors,
+)
+from .parallel_profile import (
+    profile_operand_stream_parallel,
+    profile_operand_stream_reference,
+    profile_workload_streams,
 )
 from .probes import (
     ActivityProfile,
@@ -27,7 +33,11 @@ __all__ = [
     "SPProfile",
     "profile_activity",
     "profile_operand_stream",
+    "profile_operand_stream_parallel",
+    "profile_operand_stream_reference",
     "profile_stimulus",
+    "profile_workload_streams",
+    "simulated_cycles",
     "VcdWriter",
     "VcdParseError",
     "parse_vcd",

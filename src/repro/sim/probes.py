@@ -29,49 +29,92 @@ class SPProfile:
     ``sp[name]`` is the fraction of observed samples in which net
     ``name`` held logic "1".  ``samples`` is the total sample count the
     profile aggregates (cycles x packed vectors).
+
+    ``ones`` optionally carries the raw per-net one-counts behind
+    ``sp``.  Profiles built by :class:`SPCounter` always have it; with
+    counts present, :meth:`merge` is *exact* (integer sums, one final
+    division) and therefore associative bit-for-bit — the property the
+    parallel profiling engine relies on to make sharded runs
+    reproducible for any worker count.
     """
 
     netlist_name: str
     sp: Dict[str, float] = field(default_factory=dict)
     samples: int = 0
+    ones: Optional[Dict[str, int]] = None
 
     def of_instance(self, netlist: Netlist, instance_name: str) -> float:
         """SP of a cell's output net."""
         inst = netlist.instances[instance_name]
         return self.sp[inst.output_net.name]
 
+    def net_samples(self, name: str) -> int:
+        """How many of this profile's samples observed net ``name``.
+
+        Every sampled cycle observes every net of the netlist, so a net
+        either appears in ``sp`` (observed ``samples`` times) or was
+        never part of this profile's netlist view (0 times).
+        """
+        return self.samples if name in self.sp else 0
+
     def merge(self, other: "SPProfile") -> "SPProfile":
-        """Sample-weighted merge of two profiles of the same netlist."""
+        """Sample-weighted merge of two profiles of the same netlist.
+
+        A net present in only one operand is weighted by the sample
+        count of the profiles that actually observed it — *not* averaged
+        against an implicit SP of 0.0 for the other profile's samples,
+        which would silently deflate BTI stress for that net.  When both
+        operands carry raw one-counts the merge is exact and
+        associative: counts add, and SP is one integer division.
+        """
         if other.netlist_name != self.netlist_name:
             raise ValueError("cannot merge profiles of different netlists")
         total = self.samples + other.samples
         if total == 0:
-            return SPProfile(self.netlist_name, dict(self.sp), 0)
+            return SPProfile(
+                self.netlist_name,
+                dict(self.sp),
+                0,
+                dict(self.ones) if self.ones is not None else None,
+            )
+        names = set(self.sp) | set(other.sp)
+        if self.ones is not None and other.ones is not None:
+            merged_ones: Dict[str, int] = {}
+            merged_sp: Dict[str, float] = {}
+            for name in names:
+                count = self.ones.get(name, 0) + other.ones.get(name, 0)
+                observed = self.net_samples(name) + other.net_samples(name)
+                merged_ones[name] = count
+                merged_sp[name] = count / observed
+            return SPProfile(self.netlist_name, merged_sp, total, merged_ones)
         merged = {}
-        for name in set(self.sp) | set(other.sp):
-            a = self.sp.get(name, 0.0) * self.samples
-            b = other.sp.get(name, 0.0) * other.samples
-            merged[name] = (a + b) / total
+        for name in names:
+            w_self = self.net_samples(name)
+            w_other = other.net_samples(name)
+            a = self.sp.get(name, 0.0) * w_self
+            b = other.sp.get(name, 0.0) * w_other
+            merged[name] = (a + b) / (w_self + w_other)
         return SPProfile(self.netlist_name, merged, total)
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "netlist": self.netlist_name,
-                "samples": self.samples,
-                "sp": self.sp,
-            },
-            indent=2,
-            sort_keys=True,
-        )
+        payload = {
+            "netlist": self.netlist_name,
+            "samples": self.samples,
+            "sp": self.sp,
+        }
+        if self.ones is not None:
+            payload["ones"] = self.ones
+        return json.dumps(payload, indent=2, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "SPProfile":
         data = json.loads(text)
+        ones = data.get("ones")
         return cls(
             netlist_name=data["netlist"],
             sp=dict(data["sp"]),
             samples=int(data["samples"]),
+            ones={k: int(v) for k, v in ones.items()} if ones is not None else None,
         )
 
 
@@ -129,6 +172,7 @@ class SPCounter:
                 name: ones / self.samples for name, ones in self.ones.items()
             },
             samples=self.samples,
+            ones=dict(self.ones),
         )
 
     def activity(self) -> "ActivityProfile":

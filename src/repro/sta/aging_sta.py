@@ -48,17 +48,21 @@ class AgingAwareSta:
     def __init__(
         self,
         netlist: Netlist,
-        timing_lib: AgingTimingLibrary,
+        timing_lib: Optional[AgingTimingLibrary],
         config: Optional[AgingAnalysisConfig] = None,
         corner: OperatingCorner = WORST_CORNER,
         gated_instances: Optional[Mapping[str, float] | Sequence[str]] = None,
         clock_fanout_per_leaf: int = 8,
         clock_chain_length: int = 1,
+        vectorized: bool = True,
     ):
+        # ``timing_lib`` may be None when every analyze() call supplies a
+        # precomputed aged model (the artifact-cache hit path).
         self.netlist = netlist
         self.timing_lib = timing_lib
         self.config = config or AgingAnalysisConfig()
         self.corner = corner
+        self.vectorized = vectorized
         if gated_instances is None:
             gated: Dict[str, float] = {}
         elif isinstance(gated_instances, Mapping):
@@ -87,7 +91,9 @@ class AgingAwareSta:
         initially meet timing and only violate after 10 simulated years.
         """
         analyzer = StaticTimingAnalyzer(
-            self.netlist, DelayModel.fresh(self.netlist, self.corner)
+            self.netlist,
+            DelayModel.fresh(self.netlist, self.corner),
+            vectorized=self.vectorized,
         )
         # Insertion delay is common-mode for a balanced fresh tree and
         # does not change the critical delay.
@@ -95,6 +101,11 @@ class AgingAwareSta:
 
     def aged_delay_model(self, profile: SPProfile) -> Tuple[DelayModel, Dict[str, float]]:
         """Per-instance aged delays + the Figure 8 delay-increase map."""
+        if self.timing_lib is None:
+            raise ValueError(
+                "AgingAwareSta was built without a timing library; "
+                "supply aged_model to analyze() instead"
+            )
         delays: Dict[str, Tuple[float, float]] = {}
         increase: Dict[str, float] = {}
         for inst in self.netlist.instances.values():
@@ -122,22 +133,31 @@ class AgingAwareSta:
         self,
         profile: SPProfile,
         clock_period_ns: Optional[float] = None,
+        aged_model: Optional[DelayModel] = None,
+        delay_increase: Optional[Dict[str, float]] = None,
     ) -> AgingStaResult:
-        """Full phase-1 analysis: fresh sign-off check + aged STA."""
+        """Full phase-1 analysis: fresh sign-off check + aged STA.
+
+        ``aged_model``/``delay_increase`` inject a precomputed (e.g.
+        artifact-cached) aged delay model, skipping library lookups.
+        """
         period = clock_period_ns or self.derive_period()
 
         fresh_arrivals = self.clock_tree.fresh_arrivals()
         fresh_model = DelayModel.fresh(self.netlist, self.corner)
         fresh_model.clock_early = fresh_arrivals
         fresh_model.clock_late = fresh_arrivals
-        fresh_report = StaticTimingAnalyzer(self.netlist, fresh_model).check(
-            period, self.config.max_paths_per_endpoint
-        )
+        fresh_report = StaticTimingAnalyzer(
+            self.netlist, fresh_model, vectorized=self.vectorized
+        ).check(period, self.config.max_paths_per_endpoint)
 
-        aged_model, increase = self.aged_delay_model(profile)
-        aged_report = StaticTimingAnalyzer(self.netlist, aged_model).check(
-            period, self.config.max_paths_per_endpoint
-        )
+        if aged_model is None:
+            aged_model, increase = self.aged_delay_model(profile)
+        else:
+            increase = dict(delay_increase or {})
+        aged_report = StaticTimingAnalyzer(
+            self.netlist, aged_model, vectorized=self.vectorized
+        ).check(period, self.config.max_paths_per_endpoint)
         return AgingStaResult(
             report=aged_report,
             fresh_report=fresh_report,

@@ -17,8 +17,11 @@ Conventions:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from ..aging.corners import OperatingCorner, WORST_CORNER
 from ..netlist.netlist import Instance, Net, Netlist
@@ -143,12 +146,97 @@ class StaReport:
         return sorted(best.values(), key=lambda v: v.slack)
 
 
-class StaticTimingAnalyzer:
-    """Arrival-time propagation and constraint checking for one netlist."""
+class _Level:
+    """One topological level's index arrays for vectorized propagation."""
 
-    def __init__(self, netlist: Netlist, delays: DelayModel):
+    __slots__ = ("instances", "out_idx", "in_idx")
+
+    def __init__(self, instances: List[Instance], out_idx, in_idx):
+        self.instances = instances
+        self.out_idx = out_idx  # (k,) output-net indices
+        self.in_idx = in_idx    # (max_fanin, k) input-net indices, padded
+
+
+class _LevelGraph:
+    """Level-grouped numpy layout of a netlist's combinational core.
+
+    Index ``n_nets`` is a sentinel pad slot: the max-arrival array holds
+    −inf there and the min-arrival array +inf, so gates with fewer
+    inputs than the level's widest gate (and input-less TIE cells) read
+    neutral elements through their padded rows.
+
+    The layout depends only on netlist structure, so it is cached per
+    (netlist, structural version) and shared by every analyzer — fresh
+    and aged STA, every corner.
+    """
+
+    def __init__(self, netlist: Netlist):
+        self.net_names: List[str] = list(netlist.nets)
+        self.net_index: Dict[str, int] = {
+            name: i for i, name in enumerate(self.net_names)
+        }
+        self.n_nets = len(self.net_names)
+        pad = self.n_nets
+        level_of_net: Dict[str, int] = {}
+        grouped: Dict[int, List[Instance]] = {}
+        for inst in netlist.levelize():
+            level = 0
+            for net in inst.input_nets():
+                level = max(level, level_of_net.get(net.name, 0))
+            grouped.setdefault(level, []).append(inst)
+            level_of_net[inst.output_net.name] = level + 1
+        self.levels: List[_Level] = []
+        for level in sorted(grouped):
+            instances = grouped[level]
+            fanin = max(
+                (len(i.ctype.inputs) for i in instances), default=0
+            )
+            out_idx = np.array(
+                [self.net_index[i.output_net.name] for i in instances],
+                dtype=np.intp,
+            )
+            in_idx = np.full((max(fanin, 1), len(instances)), pad, dtype=np.intp)
+            for col, inst in enumerate(instances):
+                for row, net in enumerate(inst.input_nets()):
+                    in_idx[row, col] = self.net_index[net.name]
+            self.levels.append(_Level(instances, out_idx, in_idx))
+
+
+#: Level layouts, keyed by netlist identity + structural version.
+_LEVEL_CACHE: "weakref.WeakKeyDictionary[Netlist, Tuple[int, _LevelGraph]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _level_graph(netlist: Netlist) -> _LevelGraph:
+    cached = _LEVEL_CACHE.get(netlist)
+    if cached is not None and cached[0] == netlist.version:
+        return cached[1]
+    graph = _LevelGraph(netlist)
+    _LEVEL_CACHE[netlist] = (netlist.version, graph)
+    return graph
+
+
+class StaticTimingAnalyzer:
+    """Arrival-time propagation and constraint checking for one netlist.
+
+    ``vectorized`` selects the numpy levelized propagation (default);
+    ``vectorized=False`` keeps the original per-gate dict walk as the
+    equivalence-tested reference.  Both produce bit-identical arrival
+    times: the vector path applies the same per-instance corner-scaled
+    delays (computed once, not per propagation step) and float64 max/add
+    are exact, so downstream checks and path sets cannot diverge.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        delays: DelayModel,
+        vectorized: bool = True,
+    ):
         self.netlist = netlist
         self.delays = delays
+        self.vectorized = vectorized
         self._order = netlist.levelize()
         self._arrival_max: Dict[str, float] = {}
         self._arrival_min: Dict[str, float] = {}
@@ -173,6 +261,9 @@ class StaticTimingAnalyzer:
 
     def propagate(self) -> None:
         """Fill max/min arrival times for every net, in levelized order."""
+        if self.vectorized:
+            self._propagate_vectorized()
+            return
         for net in self.netlist.nets.values():
             if net.is_input:
                 # Unconstrained: transparent to max/min propagation.
@@ -199,6 +290,47 @@ class StaticTimingAnalyzer:
             in_min = min(self._arrival_min[n.name] for n in ins)
             self._arrival_max[inst.output_net.name] = in_max + self.delays.tmax(inst)
             self._arrival_min[inst.output_net.name] = in_min + self.delays.tmin(inst)
+        self._propagated = True
+
+    def _propagate_vectorized(self) -> None:
+        """Numpy levelized propagation; fills the same arrival dicts.
+
+        Per level: gather input arrivals through padded index arrays,
+        reduce max/min down the fanin axis, add the per-instance
+        corner-scaled delay vector, and scatter to the output slots.
+        The pad slot (index ``n_nets``) stays −inf/+inf, which makes
+        narrow gates and TIE cells transparent exactly like the
+        reference's explicit handling.
+        """
+        graph = _level_graph(self.netlist)
+        n = graph.n_nets
+        amax = np.full(n + 1, -np.inf)
+        amin = np.full(n + 1, np.inf)
+        for net in self.netlist.nets.values():
+            if net.is_input:
+                continue  # already -inf / +inf
+            late = self._source_arrivals(net, late=True)
+            if late is not None:
+                idx = graph.net_index[net.name]
+                amax[idx] = late
+                amin[idx] = self._source_arrivals(net, late=False)
+        # Corner derates applied once per level vector; elementwise
+        # float64 ``x * derate / scale`` matches scale_max_delay /
+        # scale_min_delay bit-for-bit.
+        table = self.delays.delays
+        corner = self.delays.corner
+        for level in graph.levels:
+            base = np.array(
+                [table[i.name] for i in level.instances], dtype=np.float64
+            )
+            tmax = base[:, 1] * corner.late_derate / corner.voltage_scale
+            tmin = base[:, 0] * corner.early_derate * corner.voltage_scale
+            amax[level.out_idx] = amax[level.in_idx].max(axis=0) + tmax
+            amin[level.out_idx] = amin[level.in_idx].min(axis=0) + tmin
+        values_max = amax[:n].tolist()
+        values_min = amin[:n].tolist()
+        self._arrival_max = dict(zip(graph.net_names, values_max))
+        self._arrival_min = dict(zip(graph.net_names, values_min))
         self._propagated = True
 
     def arrival_max(self, net_name: str) -> float:

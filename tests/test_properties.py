@@ -214,6 +214,75 @@ class TestStaMonotonicity:
         assert report_fast.wns_hold_ns <= report_base.wns_hold_ns + 1e-12
 
 
+class TestVectorizedStaEquivalence:
+    """The numpy levelized propagation matches the dict-walking STA."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=400),
+        scale=st.floats(min_value=0.8, max_value=1.5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_arrivals_match_reference(self, seed, scale):
+        rng = random.Random(seed)
+        netlist = _random_netlist(rng, n_inputs=3, n_gates=12, n_dffs=2)
+        base = DelayModel.fresh(netlist, TYPICAL_CORNER)
+        model = DelayModel(
+            delays={
+                name: (tmin * scale, tmax * scale)
+                for name, (tmin, tmax) in base.delays.items()
+            },
+            corner=TYPICAL_CORNER,
+        )
+        ref = StaticTimingAnalyzer(netlist, model, vectorized=False)
+        vec = StaticTimingAnalyzer(netlist, model, vectorized=True)
+        report_ref = ref.check(1.0)
+        report_vec = vec.check(1.0)
+        for name in netlist.nets:
+            assert vec.arrival_max(name) == pytest.approx(
+                ref.arrival_max(name), abs=1e-9
+            )
+            assert vec.arrival_min(name) == pytest.approx(
+                ref.arrival_min(name), abs=1e-9
+            )
+        assert [
+            (v.kind, v.start, v.end, v.cells) for v in report_vec.violations
+        ] == [
+            (v.kind, v.start, v.end, v.cells) for v in report_ref.violations
+        ]
+
+
+class TestParallelProfileEquivalence:
+    """Sharded profiling is bit-identical to serial for any worker count."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=200),
+        workers=st.integers(min_value=2, max_value=4),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_worker_count_invariance(self, seed, workers):
+        from repro.sim.parallel_profile import (
+            fork_available,
+            profile_operand_stream_parallel,
+        )
+
+        rng = random.Random(seed)
+        netlist = _random_netlist(rng, n_inputs=3, n_gates=10, n_dffs=2)
+        ops = [
+            {f"i{k}": rng.getrandbits(1) for k in range(3)}
+            for _ in range(rng.randrange(20, 60))
+        ]
+        serial = profile_operand_stream_parallel(
+            netlist, ops, lanes=8, workers=1, chunk_batches=1
+        )
+        width = workers if fork_available() else 1
+        sharded = profile_operand_stream_parallel(
+            netlist, ops, lanes=8, workers=width, chunk_batches=1
+        )
+        assert sharded.sp == serial.sp
+        assert sharded.ones == serial.ones
+        assert sharded.samples == serial.samples
+
+
 class TestFailureModelTransparency:
     """Until a trigger fires, failing netlists match the original."""
 
