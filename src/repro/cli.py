@@ -7,6 +7,7 @@ would be packaged for a silicon/reliability team:
 command        effect
 =============  =====================================================
 workloads      list the embench-style benchmark programs
+run            all three phases, with --trace/--metrics/--resume
 profile        phase 1 front half: cached/parallel SP profiling + aged STA
 sta            phase 1: SP profiling + aging-aware STA for a unit
 lift           phase 2: formal test construction (Table 4 view)
@@ -14,6 +15,7 @@ suite          emit test-suite artifacts (assembly / C / routine)
 inject         emit a failing netlist as Verilog
 detect         run the generated suite against an injected failure
 integrate      phase 3: profile-guided splicing into a workload
+trace          summarize a JSONL telemetry trace
 =============  =====================================================
 """
 
@@ -51,6 +53,54 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("workloads", help="list benchmark workloads")
+
+    p = sub.add_parser(
+        "run",
+        help="full three-phase workflow with tracing and checkpoints",
+    )
+    _add_unit(p)
+    _add_mitigation(p)
+    p.add_argument(
+        "--trace", metavar="FILE",
+        help="write the run's JSONL telemetry trace to FILE",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the markdown metrics summary after the report",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume a killed/failed run from its phase checkpoints "
+             "(requires the artifact cache)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for profiling and lifting; 0 = one per "
+             "CPU (results are identical for any worker count)",
+    )
+    p.add_argument(
+        "--max-paths", type=int, default=50,
+        help="violating-path cap per endpoint for phase-1 STA",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the artifact cache (also disables checkpoints)",
+    )
+    p.add_argument(
+        "--cache-dir", default=".vega-cache",
+        help="artifact cache root (default: .vega-cache)",
+    )
+
+    p = sub.add_parser(
+        "trace", help="inspect JSONL telemetry traces"
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    p = trace_sub.add_parser(
+        "summarize",
+        help="render a trace's metrics summary (non-zero exit when the "
+             "trace is empty or unparseable)",
+    )
+    p.add_argument("file", help="JSONL trace written by repro run --trace")
 
     p = sub.add_parser(
         "profile",
@@ -159,6 +209,65 @@ def cmd_workloads(args, out) -> int:
 
     for name, workload in sorted(WORKLOADS.items()):
         print(f"{name:12s} [{workload.kind}] {workload.description}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    from .core.config import (
+        AgingAnalysisConfig,
+        ErrorLiftingConfig,
+        VegaConfig,
+    )
+    from .core.workflow import VegaWorkflow
+
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    config = VegaConfig(
+        aging=AgingAnalysisConfig(
+            clock_margin=0.03,
+            max_paths_per_endpoint=args.max_paths,
+            profile_workers=args.workers,
+        ),
+        lifting=ErrorLiftingConfig(
+            enable_mitigation=args.mitigation,
+            workers=args.workers,
+        ),
+        cache_dir=None if args.no_cache else args.cache_dir,
+    )
+    workflow = VegaWorkflow(config)
+    report = workflow.run(
+        unit.netlist,
+        ctx.stream(args.unit),
+        unit.mapper,
+        gated_instances=unit.gated_instances(),
+        resume=args.resume,
+    )
+    print(report.summary(), file=out)
+    if report.resumed_phases:
+        print("  resumed from checkpoints: "
+              + ", ".join(report.resumed_phases), file=out)
+    if args.trace:
+        report.write_trace(args.trace)
+        print(f"  trace written to {args.trace}", file=out)
+    if args.metrics:
+        print(file=out)
+        print(report.metrics_markdown(), file=out)
+    return 0
+
+
+def cmd_trace(args, out) -> int:
+    from .core import telemetry
+
+    try:
+        records = telemetry.read_trace(args.file)
+    except telemetry.TraceError as exc:
+        print(f"invalid trace: {exc}", file=sys.stderr)
+        return 1
+    print(telemetry.summarize_trace(records), file=out)
     return 0
 
 
@@ -402,6 +511,8 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "workloads": cmd_workloads,
+        "run": cmd_run,
+        "trace": cmd_trace,
         "profile": cmd_profile,
         "sta": cmd_sta,
         "lift": cmd_lift,

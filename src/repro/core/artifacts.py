@@ -113,6 +113,49 @@ class ArtifactCache:
         tmp.replace(path)  # atomic publish: readers never see partials
         return path
 
+    # -- pickled phase checkpoints --------------------------------------
+    def _checkpoint_path(self, key: str) -> pathlib.Path:
+        return self.root / "checkpoint" / key[:2] / f"{key}.pkl"
+
+    def load_checkpoint(self, key: str) -> Optional[Any]:
+        """A previously published phase result, or None.
+
+        Corrupt or truncated checkpoints (e.g. a crash mid-``replace``
+        is impossible, but a damaged disk entry is not) count as misses
+        rather than raising — resume then recomputes the phase.
+        """
+        import pickle
+
+        path = self._checkpoint_path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            value = pickle.loads(data)
+        except Exception:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def store_checkpoint(self, key: str, value: Any) -> pathlib.Path:
+        """Atomically publish a phase result for later resume.
+
+        Checkpoints are pickled (phase results are plain dataclasses),
+        written to a temp file and renamed, so a killed run never leaves
+        a partially-written checkpoint addressable.
+        """
+        import pickle
+
+        path = self._checkpoint_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.replace(path)
+        return path
+
     # -- typed entries -------------------------------------------------
     def load_profile(self, key: str):
         from ..sim.probes import SPProfile

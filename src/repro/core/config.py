@@ -81,6 +81,12 @@ class ErrorLiftingConfig:
             rebuilding a fresh solver per unroll depth.  Verdicts and
             traces are identical either way; the fresh path exists for
             equivalence testing and benchmarking.
+        keep_going: Degrade gracefully when lifting a single endpoint
+            pair raises: the pair is recorded as a ``PairResult`` with
+            its ``error`` set (FF in the Table 4 accounting, plus a
+            ``lifting.pair_error`` trace event) and the run continues
+            with the remaining pairs.  Disable to re-raise immediately,
+            e.g. while debugging a mapper.
     """
 
     enable_mitigation: bool = False
@@ -89,6 +95,7 @@ class ErrorLiftingConfig:
     constants: Tuple[int, ...] = (0, 1)
     workers: int = 1
     incremental_bmc: bool = True
+    keep_going: bool = True
 
 
 @dataclass

@@ -8,11 +8,12 @@ chains them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional, Sequence
 
 from ..netlist.netlist import Netlist
 from ..sim.probes import SPProfile
+from . import telemetry
 from .config import VegaConfig
 
 
@@ -25,6 +26,21 @@ class WorkflowReport:
     sta_report: object = None
     lifting_report: object = None
     test_suite: object = None
+    #: The run's telemetry (spans/counters/events); set by ``run``.
+    telemetry: Optional[telemetry.Telemetry] = None
+    #: Phases loaded from checkpoints instead of recomputed.
+    resumed_phases: List[str] = field(default_factory=list)
+
+    def metrics_markdown(self) -> str:
+        """Markdown metrics summary of the run's telemetry trace."""
+        if self.telemetry is None:
+            return ""
+        return self.telemetry.summary_markdown()
+
+    def write_trace(self, path: str) -> None:
+        """Write the run's JSONL trace (no-op without telemetry)."""
+        if self.telemetry is not None:
+            self.telemetry.write_jsonl(path)
 
     def summary(self) -> str:
         lines = [f"Vega workflow report for {self.netlist_name!r}"]
@@ -251,6 +267,72 @@ class VegaWorkflow:
             lifting_report, name=name, seed=self.config.integration.random_seed
         )
 
+    # Checkpoint keys --------------------------------------------------
+    def _checkpoint_keys(
+        self,
+        netlist: Netlist,
+        operands: Sequence[Mapping[str, int]],
+        clock_period_ns: Optional[float],
+        gated_instances,
+        isa_mapper,
+    ) -> dict:
+        """Content-addressed keys for the three phase checkpoints.
+
+        Keys cascade — phase 2's digest embeds phase 1's, phase 3's
+        embeds phase 2's — so any changed input invalidates every
+        downstream checkpoint automatically.  Parallelism and
+        degradation knobs (``workers``, ``keep_going``) are excluded:
+        they do not change results.
+        """
+        import collections.abc
+
+        from .artifacts import ArtifactCache
+
+        aging = self.config.aging
+        lifting = self.config.lifting
+        if not gated_instances:
+            gated_key: list = []
+        elif isinstance(gated_instances, collections.abc.Mapping):
+            gated_key = sorted(gated_instances.items())
+        else:
+            gated_key = sorted(gated_instances)
+        mapper_key = [
+            getattr(isa_mapper, "unit", type(isa_mapper).__name__),
+            [repr(a) for a in (isa_mapper.assumptions() if isa_mapper else [])],
+        ]
+        phase1 = ArtifactCache.digest(
+            "ckpt-phase1",
+            netlist.structural_hash(),
+            ArtifactCache.stream_digest(operands),
+            len(operands),
+            clock_period_ns,
+            gated_key,
+            [
+                aging.lifetime_years,
+                aging.temperature_c,
+                aging.clock_margin,
+                aging.max_paths_per_endpoint,
+                aging.clock_gating_sp,
+                aging.profile_lanes,
+            ],
+        )
+        phase2 = ArtifactCache.digest(
+            "ckpt-phase2",
+            phase1,
+            mapper_key,
+            [
+                lifting.enable_mitigation,
+                lifting.bmc_depth,
+                lifting.bmc_conflict_budget,
+                list(lifting.constants),
+                lifting.incremental_bmc,
+            ],
+        )
+        phase3 = ArtifactCache.digest(
+            "ckpt-phase3", phase2, self.config.integration.random_seed
+        )
+        return {"phase1": phase1, "phase2": phase2, "phase3": phase3}
+
     # Full chain -------------------------------------------------------
     def run(
         self,
@@ -259,16 +341,103 @@ class VegaWorkflow:
         isa_mapper,
         clock_period_ns: Optional[float] = None,
         gated_instances: Optional[Sequence[str]] = None,
+        resume: bool = False,
+        suite_name: str = "vega_tests",
     ) -> WorkflowReport:
+        """Chain the three phases; checkpoint each through the cache.
+
+        With ``config.cache_dir`` set, every completed phase publishes
+        its result as a pickled checkpoint keyed by the full input
+        digest, so a killed or failed run restarted with ``resume=True``
+        picks up at the first incomplete phase — completed phases load
+        from disk and recompute nothing (a resumed phase 1 steps zero
+        simulator cycles).  The run's spans/counters/events are attached
+        to the report as ``report.telemetry`` (an enclosing
+        ``telemetry.use(...)`` is honoured; otherwise a fresh instance
+        is installed for the duration of the run).
+        """
+        import contextlib
+
+        operands = list(operand_stream)
         report = WorkflowReport(netlist_name=netlist.name)
-        report.sp_profile, report.sta_report = self.run_aging_analysis(
-            netlist,
-            operand_stream,
-            clock_period_ns=clock_period_ns,
-            gated_instances=gated_instances,
+        cache = self._artifact_cache()
+        keys = (
+            self._checkpoint_keys(
+                netlist, operands, clock_period_ns, gated_instances, isa_mapper
+            )
+            if cache is not None
+            else {}
         )
-        report.lifting_report = self.run_error_lifting(
-            netlist, report.sta_report, isa_mapper
-        )
-        report.test_suite = self.build_aging_library(report.lifting_report)
+
+        def _load(phase: str):
+            if cache is None or not resume:
+                return None
+            return cache.load_checkpoint(keys[phase])
+
+        def _publish(phase: str, value) -> None:
+            if cache is not None:
+                cache.store_checkpoint(keys[phase], value)
+
+        with contextlib.ExitStack() as stack:
+            tele = telemetry.active()
+            if tele is None:
+                tele = stack.enter_context(telemetry.use(telemetry.Telemetry()))
+            report.telemetry = tele
+
+            with telemetry.span(
+                "phase1.aging_analysis", netlist=netlist.name
+            ) as span:
+                payload = _load("phase1")
+                if payload is not None:
+                    report.sp_profile, report.sta_report = payload
+                    report.resumed_phases.append("phase1")
+                    span.annotate(resumed=True)
+                else:
+                    report.sp_profile, report.sta_report = (
+                        self.run_aging_analysis(
+                            netlist,
+                            operands,
+                            clock_period_ns=clock_period_ns,
+                            gated_instances=gated_instances,
+                        )
+                    )
+                    _publish(
+                        "phase1", (report.sp_profile, report.sta_report)
+                    )
+                span.annotate(
+                    violations=len(report.sta_report.report.violations)
+                )
+
+            with telemetry.span("phase2.error_lifting") as span:
+                payload = _load("phase2")
+                if payload is not None:
+                    report.lifting_report = payload
+                    report.resumed_phases.append("phase2")
+                    span.annotate(resumed=True)
+                else:
+                    report.lifting_report = self.run_error_lifting(
+                        netlist, report.sta_report, isa_mapper
+                    )
+                    _publish("phase2", report.lifting_report)
+                span.annotate(
+                    pairs=len(report.lifting_report.pairs),
+                    tests=len(report.lifting_report.test_cases),
+                    errors=len(report.lifting_report.error_pairs),
+                )
+
+            with telemetry.span("phase3.test_integration") as span:
+                payload = _load("phase3")
+                if payload is not None:
+                    report.test_suite = payload
+                    report.resumed_phases.append("phase3")
+                    span.annotate(resumed=True)
+                else:
+                    report.test_suite = self.build_aging_library(
+                        report.lifting_report, name=suite_name
+                    )
+                    _publish("phase3", report.test_suite)
+                span.annotate(
+                    tests=len(report.test_suite.test_cases),
+                    suite_cycles=report.test_suite.suite_cycles(),
+                )
         return report

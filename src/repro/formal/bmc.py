@@ -22,10 +22,12 @@ plus one frame therefore suffices, and ``suggested_depth`` computes it.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..core import telemetry
 from ..netlist.netlist import Instance, Net, Netlist
 from .encode import encode_in_set, encode_instance, encode_xor_var
 from .sat import SatSolver, SatStatus
@@ -318,8 +320,13 @@ class BoundedModelChecker:
         max_depth = max_depth or suggested_depth(self.netlist)
         plan = self._frame_plan(objective)
         if incremental:
-            return self._cover_incremental(objective, max_depth, observe, plan)
-        return self._cover_fresh(objective, max_depth, observe, plan)
+            result = self._cover_incremental(objective, max_depth, observe, plan)
+        else:
+            result = self._cover_fresh(objective, max_depth, observe, plan)
+        telemetry.add("bmc.queries")
+        telemetry.add(f"bmc.{result.status.value}")
+        telemetry.add("bmc.frames", result.depth_checked)
+        return result
 
     def _cover_incremental(
         self,
@@ -345,10 +352,12 @@ class BoundedModelChecker:
             self._add_frame(solver, frames, objective_vars, objective, plan)
             if not objective_vars:
                 raise ValueError("objective has no conditions")
+            t0 = time.perf_counter()
             result = solver.solve(
                 conflict_limit=solver.conflicts + self.conflict_budget,
                 assumptions=[objective_vars[-1]],
             )
+            telemetry.add(f"bmc.solve_s.depth{depth}", time.perf_counter() - t0)
             if result.status is SatStatus.UNKNOWN:
                 return BmcResult(
                     BmcStatus.BUDGET_EXCEEDED,
@@ -390,7 +399,9 @@ class BoundedModelChecker:
             # Require the objective exactly at the last frame (earlier
             # frames were covered by earlier iterations).
             solver.add_clause([obj_vars[-1]])
+            t0 = time.perf_counter()
             result = solver.solve(conflict_limit=self.conflict_budget)
+            telemetry.add(f"bmc.solve_s.depth{depth}", time.perf_counter() - t0)
             total_conflicts += result.conflicts
             if result.status is SatStatus.UNKNOWN:
                 return BmcResult(

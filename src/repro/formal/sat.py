@@ -14,9 +14,12 @@ A configurable conflict budget turns "too hard" into an explicit
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence
+
+from ..core import telemetry
 
 
 class SatStatus(Enum):
@@ -91,6 +94,9 @@ class SatSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        # Lifetime count of learned clauses (units included) — unlike
+        # len(self._learned), never shrunk by _reduce_db.
+        self.learned_total = 0
         # Optional DRAT proof log: learned clauses in order, for
         # external checking of UNSAT results (drat-trim compatible).
         self.proof_logging = False
@@ -450,6 +456,30 @@ class SatSolver:
         ``conflict_limit`` bounds the solver's *cumulative* conflict
         count (``self.conflicts``), matching its lifetime statistics.
         """
+        if telemetry.active() is None:
+            return self._search(conflict_limit, assumptions)
+        base = (
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.learned_total,
+        )
+        t0 = time.perf_counter()
+        try:
+            return self._search(conflict_limit, assumptions)
+        finally:
+            telemetry.add("sat.solves")
+            telemetry.add("sat.solve_s", time.perf_counter() - t0)
+            telemetry.add("sat.decisions", self.decisions - base[0])
+            telemetry.add("sat.propagations", self.propagations - base[1])
+            telemetry.add("sat.conflicts", self.conflicts - base[2])
+            telemetry.add("sat.learned", self.learned_total - base[3])
+
+    def _search(
+        self,
+        conflict_limit: Optional[int] = None,
+        assumptions: Sequence[int] = (),
+    ) -> SatResult:
         if self._unsat:
             return SatResult(SatStatus.UNSAT)
         self._backtrack(0)
@@ -481,6 +511,7 @@ class SatSolver:
                         propagations=self.propagations,
                     )
                 learned, back_level = self._analyze(conflict)
+                self.learned_total += 1
                 self._backtrack(back_level)
                 if len(learned) == 1:
                     self._enqueue(learned[0], None)

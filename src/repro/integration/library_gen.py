@@ -16,8 +16,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..core import telemetry
 from ..cpu.asm import assemble
 from ..cpu.cpu import Cpu, CpuStall
 from ..lifting.testcase import TestCase
@@ -179,6 +180,11 @@ class AgingLibrary:
     name: str
     test_cases: List[TestCase] = field(default_factory=list)
     seed: int = 2024
+    #: suite_cycles() memo, keyed by (strategy, test-case fingerprint)
+    #: — see :meth:`suite_cycles`.  Never compared or serialized.
+    _cycles_cache: Dict[tuple, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_lifting_report(
@@ -235,32 +241,79 @@ class AgingLibrary:
         executed = self.order(strategy)
         program = assemble(self.suite_source(strategy))
         cpu = Cpu(program, alu=alu, fpu=fpu, mdu=mdu)
+        telemetry.add("integration.suite_runs")
         try:
             result = cpu.run(max_instructions=max_instructions)
         except CpuStall:
             return DetectionResult(
                 detected=True, stalled=True, cycles=cpu.cycles
             )
-        if result.exit_value == 0:
-            return DetectionResult(detected=False, cycles=result.cycles)
-        position = (result.exit_value >> 12) - 1
+        return self.decode_exit(result.exit_value, executed, result.cycles)
+
+    def decode_exit(
+        self,
+        exit_value: int,
+        executed: Sequence[int],
+        cycles: int = 0,
+    ) -> DetectionResult:
+        """Map a lui-encoded suite exit value to a detection verdict.
+
+        Genuine verdicts are written with a single ``lui``, so their low
+        12 bits are always zero.  Nonzero low bits therefore mean the
+        unit corrupted the verdict value itself — an unambiguous
+        detection, but the high bits are untrustworthy even when they
+        happen to land on a valid test position, so no attribution is
+        made.
+        """
+        if exit_value == 0:
+            return DetectionResult(detected=False, cycles=cycles)
+        if exit_value & 0xFFF:
+            return DetectionResult(detected=True, cycles=cycles)
+        position = (exit_value >> 12) - 1
         if not 0 <= position < len(executed):
-            # The unit corrupted even the lui-encoded verdict; still an
-            # unambiguous detection, attribution unknown.
-            return DetectionResult(detected=True, cycles=result.cycles)
+            # Out-of-range verdict (e.g. FAULT_SENTINEL): detection,
+            # attribution unknown.
+            return DetectionResult(detected=True, cycles=cycles)
         test_index = executed[position]
         return DetectionResult(
             detected=True,
             detected_by=self.test_cases[test_index].name,
             detected_index=test_index,
-            cycles=result.cycles,
+            cycles=cycles,
         )
 
-    def suite_cycles(self) -> int:
-        """Cycle cost of one full, fault-free suite execution (Table 5)."""
+    def _fingerprint(self) -> tuple:
+        """Identity of the current test-case list, for memo invalidation.
+
+        Pairs each case's object identity with its name: appending,
+        removing, or replacing cases (``cmd_integrate`` extends the
+        list in place) changes the tuple and invalidates the memo.
+        """
+        return tuple((id(c), c.name) for c in self.test_cases)
+
+    def suite_cycles(self, strategy: str = "sequential") -> int:
+        """Cycle cost of one full, fault-free suite execution (Table 5).
+
+        Memoized per (strategy, current test cases) with no unit
+        backends — every report/summary path calls this, and the suite
+        itself never changes between calls, so the full CPU run happens
+        once instead of per print.
+        """
         if not self.test_cases:
             return 0
-        return self.run_suite().cycles
+        key = (strategy, self._fingerprint())
+        cached = self._cycles_cache.get(key)
+        if cached is not None:
+            return cached
+        cycles = self.run_suite(strategy=strategy).cycles
+        # One entry per strategy is enough: a changed fingerprint means
+        # stale entries can never be addressed again.
+        self._cycles_cache = {
+            k: v for k, v in self._cycles_cache.items() if k[1] == key[1]
+        }
+        self._cycles_cache[key] = cycles
+        telemetry.add("integration.suite_cycles", cycles)
+        return cycles
 
     def raise_on_fault(self, result: DetectionResult) -> None:
         """Exception-style reporting, as the generated library offers."""

@@ -22,6 +22,7 @@ import re
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..core import telemetry
 from ..core.config import TestIntegrationConfig
 from ..cpu.asm import assemble
 from ..cpu.cpu import Cpu, CpuStall
@@ -69,6 +70,7 @@ class IntegrationPlan:
     block_count: int
     estimated_overhead: float
     gate_period: int = 1  # 1 = ungated; N = run tests every Nth visit
+    strategy: str = "sequential"  # test scheduling of the spliced routine
 
     @property
     def gated(self) -> bool:
@@ -104,6 +106,9 @@ class ProfileGuidedIntegrator:
     ):
         self.library = library
         self.config = config or TestIntegrationConfig()
+        # Measured per-visit costs, keyed by (strategy, gate_period,
+        # library fingerprint) — see _visit_costs.
+        self._cost_cache: Dict[tuple, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     def choose_block(self, profile: BlockProfile) -> Tuple[str, int]:
@@ -132,45 +137,115 @@ class ProfileGuidedIntegrator:
         count, label = min(candidates)
         return label, count
 
-    def estimate_overhead(
-        self, profile: BlockProfile, block_count: int, gate_period: int = 1
-    ) -> float:
-        """Instruction-count overhead estimate (the paper's IR delta).
+    def _harness_cost(
+        self, plan: IntegrationPlan, preseed: Optional[int] = None
+    ) -> int:
+        """Exact dynamic instruction cost of one visit to the call site.
 
-        Tests run ``block_count / gate_period`` times; the gate itself
-        costs a handful of instructions on every visit.
+        Assembles a minimal harness — the real call site followed by an
+        exit, plus the real support code for ``plan`` — and executes it
+        fault-free.  ``preseed`` overrides the gate counter's initial
+        value: ``gate_period - 1`` forces the single visit down the
+        run-tests path, ``0`` down the skip path.
         """
-        suite_program = assemble(
-            self.library.suite_source() if self.library.test_cases else "ecall"
+        lines = self._call_site(plan) + ["    ecall", ""]
+        lines.extend(self._support_code(plan))
+        source = "\n".join(lines) + "\n"
+        if preseed:
+            source = source.replace(
+                "__vega_ctr: .word 0", f"__vega_ctr: .word {preseed}"
+            )
+        result = Cpu(assemble(source)).run()
+        return result.instructions - 1  # the harness's own ecall
+
+    def _visit_costs(self, plan: IntegrationPlan) -> Tuple[int, int]:
+        """(run-path, skip-path) dynamic cost per visit, memoized."""
+        key = (
+            plan.strategy,
+            plan.gate_period,
+            self.library._fingerprint(),
         )
-        suite_instructions = max(0, suite_program.size - 1)
-        gate_cost = 8 if gate_period > 1 else 2
-        runs = block_count / gate_period
-        added = runs * suite_instructions + block_count * gate_cost
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
+        if plan.gated:
+            costs = (
+                self._harness_cost(plan, preseed=plan.gate_period - 1),
+                self._harness_cost(plan, preseed=0),
+            )
+        else:
+            costs = (self._harness_cost(plan), 0)
+        self._cost_cache[key] = costs
+        return costs
+
+    def estimate_overhead(
+        self,
+        profile: BlockProfile,
+        block_count: int,
+        gate_period: int = 1,
+        strategy: str = "sequential",
+    ) -> float:
+        """Dynamic-instruction overhead of splicing (the paper's IR delta).
+
+        Measured, not modelled: the exact call site + support code that
+        :meth:`_splice` would emit — for the *scheduling strategy that
+        will actually be spliced* — is assembled and executed once per
+        (strategy, period), giving the precise per-visit cost of the
+        run-tests and gate-skip paths.  Over ``block_count`` visits the
+        gate counter runs the tests exactly ``block_count //
+        gate_period`` times, so the returned estimate equals the spliced
+        program's measured instruction delta over the profiled inputs.
+        """
+        plan = IntegrationPlan(
+            label="",
+            block_count=block_count,
+            estimated_overhead=0.0,
+            gate_period=gate_period,
+            strategy=strategy,
+        )
+        run_cost, skip_cost = self._visit_costs(plan)
+        runs = block_count // gate_period
+        added = runs * run_cost + (block_count - runs) * skip_cost
         return added / max(1, profile.total_instructions)
 
-    def plan(self, profile: BlockProfile) -> IntegrationPlan:
+    def plan(
+        self, profile: BlockProfile, strategy: str = "sequential"
+    ) -> IntegrationPlan:
         label, count = self.choose_block(profile)
-        overhead = self.estimate_overhead(profile, count)
+        overhead = self.estimate_overhead(profile, count, strategy=strategy)
         period = 1
         while (
             overhead > self.config.overhead_threshold
             and period < 1 << 20
         ):
             period *= 2
-            overhead = self.estimate_overhead(profile, count, period)
+            overhead = self.estimate_overhead(
+                profile, count, period, strategy
+            )
+        telemetry.event(
+            "integration.plan",
+            label=label,
+            block_count=count,
+            gate_period=period,
+            strategy=strategy,
+            estimated_overhead=round(overhead, 6),
+        )
+        telemetry.add("integration.plans")
         return IntegrationPlan(
             label=label,
             block_count=count,
             estimated_overhead=overhead,
             gate_period=period,
+            strategy=strategy,
         )
 
     # ------------------------------------------------------------------
-    def integrate(self, source: str) -> IntegratedApplication:
+    def integrate(
+        self, source: str, strategy: str = "sequential"
+    ) -> IntegratedApplication:
         """Profile, plan, and splice; returns the rewritten program."""
         profile = profile_application(source)
-        plan = self.plan(profile)
+        plan = self.plan(profile, strategy=strategy)
         spliced = self._splice(source, plan)
         return IntegratedApplication(
             source=spliced, plan=plan, library=self.library
@@ -251,5 +326,5 @@ class ProfileGuidedIntegrator:
             lines.append("    lw t2, 8(sp)")
             lines.append("    addi sp, sp, 16")
             lines.append("    ret")
-        lines.extend(self.library.routine_source().splitlines())
+        lines.extend(self.library.routine_source(plan.strategy).splitlines())
         return lines

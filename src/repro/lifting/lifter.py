@@ -60,6 +60,10 @@ class PairResult:
     end: str
     kind: ViolationKind
     variants: List[VariantResult] = field(default_factory=list)
+    #: Set when the pair crashed mid-lift and the run kept going
+    #: (``ErrorLiftingConfig.keep_going``); the traceback summary also
+    #: lands in the telemetry trace as a ``lifting.pair_error`` event.
+    error: Optional[str] = None
 
     @property
     def outcome(self) -> PairOutcome:
@@ -68,13 +72,17 @@ class PairResult:
         A pair counts as S when any variant yields a test; as FC when a
         witness existed but none converted; as FF when the formal tool
         gave up before any witness/proof; as UR when every variant is
-        proven unrealizable.
+        proven unrealizable.  A pair that *crashed* before producing any
+        variant is accounted FF — the tooling, not the circuit, failed
+        to settle it.
         """
         if any(v.test_case is not None for v in self.variants):
             return PairOutcome.CONSTRUCTED
         if any(v.conversion_failed for v in self.variants):
             return PairOutcome.CONVERSION_FAILURE
         if any(v.status is BmcStatus.BUDGET_EXCEEDED for v in self.variants):
+            return PairOutcome.FORMAL_FAILURE
+        if self.error is not None and not self.variants:
             return PairOutcome.FORMAL_FAILURE
         return PairOutcome.UNREALIZABLE
 
@@ -109,6 +117,11 @@ class LiftingReport:
         counts = self.outcome_counts()
         total = sum(counts.values()) or 1
         return {k: 100.0 * v / total for k, v in counts.items()}
+
+    @property
+    def error_pairs(self) -> List[PairResult]:
+        """Pairs that crashed mid-lift and were skipped (keep_going)."""
+        return [p for p in self.pairs if p.error is not None]
 
 
 class ErrorLifter:

@@ -13,13 +13,26 @@ shards those pairs across ``multiprocessing`` workers:
   a parallel run is bit-identical to a serial one;
 * platforms without ``fork`` (or ``workers <= 1``, or a pool that fails
   to come up) fall back to the serial loop transparently.
+
+Telemetry crosses the process boundary the same way results do: each
+worker gets a fresh :class:`~repro.core.telemetry.Telemetry` in its
+initializer, snapshots its counters around every pair, and ships the
+*deltas* back alongside the ``PairResult``; the parent folds them in —
+again in submission order — and records per-pair wall times plus a
+pool-utilization event.  A pair that raises is returned as a
+``PairResult`` carrying the error string (when
+``ErrorLiftingConfig.keep_going`` is set, the default) so one poisoned
+endpoint cannot abort the remaining pairs of a long phase-2 run.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..core import telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sta.timing import TimingViolation
@@ -44,16 +57,85 @@ def _init_worker(netlist, config, mapper) -> None:
 
     from .lifter import ErrorLifter
 
+    # A fresh telemetry per worker: its counter deltas travel back with
+    # each task result; the parent's instance is never shared.
+    telemetry.install(telemetry.Telemetry(run_id="lifting-worker"))
     # Workers must not recurse into their own pools.
     _WORKER_LIFTER = ErrorLifter(
         netlist, dataclasses.replace(config, workers=1), mapper
     )
 
 
-def _lift_one(task: Tuple[int, "TimingViolation"]) -> Tuple[int, "PairResult"]:
+def _lift_pair_safe(
+    lifter: "ErrorLifter", violation: "TimingViolation"
+) -> "PairResult":
+    """Lift one pair; on ``keep_going``, convert a crash into a result."""
+    try:
+        return lifter.lift_pair(violation)
+    except Exception as exc:  # noqa: BLE001 - the whole point is to survive
+        if not getattr(lifter.config, "keep_going", True):
+            raise
+        from .lifter import PairResult
+        from .models import ViolationKind
+
+        kind = (
+            ViolationKind.SETUP
+            if violation.kind == "setup"
+            else ViolationKind.HOLD
+        )
+        return PairResult(
+            start=violation.start,
+            end=violation.end,
+            kind=kind,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def _lift_one(
+    task: Tuple[int, "TimingViolation"]
+) -> Tuple[int, "PairResult", float, Dict[str, float]]:
     index, violation = task
     assert _WORKER_LIFTER is not None
-    return index, _WORKER_LIFTER.lift_pair(violation)
+    tele = telemetry.active()
+    base = tele.snapshot() if tele is not None else {}
+    t0 = time.perf_counter()
+    result = _lift_pair_safe(_WORKER_LIFTER, violation)
+    wall = time.perf_counter() - t0
+    deltas = tele.counter_deltas(base) if tele is not None else {}
+    return index, result, wall, deltas
+
+
+def _record_pair(result: "PairResult", wall_s: float) -> None:
+    """Parent-side trace records for one finished pair."""
+    telemetry.add("lifting.pairs")
+    telemetry.add("lifting.pair_wall_s", wall_s)
+    telemetry.event(
+        "lifting.pair",
+        start=result.start,
+        end=result.end,
+        outcome=result.outcome.value,
+        wall_s=round(wall_s, 6),
+    )
+    if result.error is not None:
+        telemetry.add("lifting.pair_errors")
+        telemetry.event(
+            "lifting.pair_error",
+            start=result.start,
+            end=result.end,
+            error=result.error,
+        )
+
+
+def _lift_serial(
+    lifter: "ErrorLifter", violations: Sequence["TimingViolation"]
+) -> List["PairResult"]:
+    results: List["PairResult"] = []
+    for violation in violations:
+        t0 = time.perf_counter()
+        result = _lift_pair_safe(lifter, violation)
+        _record_pair(result, time.perf_counter() - t0)
+        results.append(result)
+    return results
 
 
 def lift_pairs(
@@ -77,8 +159,9 @@ def lift_pairs(
         workers = os.cpu_count() or 1
     workers = min(workers, len(violations)) if violations else 1
     if workers <= 1 or not fork_available():
-        return [lifter.lift_pair(v) for v in violations]
+        return _lift_serial(lifter, violations)
     ctx = multiprocessing.get_context("fork")
+    t_pool = time.perf_counter()
     try:
         with ctx.Pool(
             processes=workers,
@@ -87,6 +170,24 @@ def lift_pairs(
         ) as pool:
             indexed = pool.map(_lift_one, list(enumerate(violations)))
     except (OSError, ValueError):  # pool could not start: degrade
-        return [lifter.lift_pair(v) for v in violations]
-    indexed.sort(key=lambda pair: pair[0])
-    return [result for _, result in indexed]
+        return _lift_serial(lifter, violations)
+    elapsed = time.perf_counter() - t_pool
+    indexed.sort(key=lambda item: item[0])
+    tele = telemetry.active()
+    busy = 0.0
+    results: List["PairResult"] = []
+    for _, result, wall, deltas in indexed:
+        if tele is not None:
+            tele.merge_counters(deltas)
+        _record_pair(result, wall)
+        busy += wall
+        results.append(result)
+    if tele is not None and elapsed > 0 and workers > 0:
+        telemetry.event(
+            "lifting.pool",
+            workers=workers,
+            elapsed_s=round(elapsed, 6),
+            busy_s=round(busy, 6),
+            utilization=round(busy / (elapsed * workers), 4),
+        )
+    return results

@@ -19,6 +19,7 @@ from __future__ import annotations
 import weakref
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple
 
+from ..core import telemetry
 from ..netlist.netlist import Instance, Net, Netlist
 
 #: Compiled evaluation functions, keyed by netlist identity and tagged
@@ -149,7 +150,9 @@ class GateSimulator:
         cached = _COMPILE_CACHE.get(self.netlist)
         version = self.netlist.version
         if cached is not None and cached[0] == version:
+            telemetry.add("sim.compile.hits")
             return cached[1]
+        telemetry.add("sim.compile.misses")
         fn = self._compile_uncached()
         _COMPILE_CACHE[self.netlist] = (version, fn)
         return fn
@@ -265,6 +268,7 @@ class GateSimulator:
         self.state = [self.values[d_idx] & mask for d_idx in self._dff_d_index]
         self.cycle_count += 1
         _CYCLE_TALLY += 1
+        telemetry.add("sim.cycles")
         return outputs
 
     # ------------------------------------------------------------------
@@ -330,4 +334,5 @@ class GateSimulator:
             cycles += 1
         self.cycle_count += cycles
         _CYCLE_TALLY += cycles
+        telemetry.add("sim.cycles", cycles)
         return outputs

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..core import telemetry
 from ..netlist.netlist import Netlist
 from .gatesim import GateSimulator, pack_vectors
 from .probes import SPCounter, SPProfile
@@ -115,17 +117,25 @@ def _count_chunk(
 def _init_worker(netlist, streams, lanes, drain_cycles) -> None:
     """Stash the shared profiling state in the forked child."""
     global _WORKER_STATE
+    # Fresh per-worker telemetry: counter deltas (simulated cycles,
+    # compile hits) travel back with each chunk result.
+    telemetry.install(telemetry.Telemetry(run_id="profile-worker"))
     _WORKER_STATE = (netlist, streams, lanes, drain_cycles)
 
 
-def _profile_chunk(task: Tuple[int, str, int, int]) -> Tuple[int, List[int], int]:
+def _profile_chunk(
+    task: Tuple[int, str, int, int]
+) -> Tuple[int, List[int], int, Dict[str, float]]:
     index, workload, start, stop = task
     assert _WORKER_STATE is not None
     netlist, streams, lanes, drain_cycles = _WORKER_STATE
+    tele = telemetry.active()
+    base = tele.snapshot() if tele is not None else {}
     ones, samples = _count_chunk(
         netlist, streams[workload][start:stop], lanes, drain_cycles
     )
-    return index, ones, samples
+    deltas = tele.counter_deltas(base) if tele is not None else {}
+    return index, ones, samples, deltas
 
 
 def profile_workload_streams(
@@ -180,6 +190,7 @@ def profile_workload_streams(
         tasks = [
             (i, c.workload, c.start, c.stop) for i, c in enumerate(chunks)
         ]
+        t_pool = time.perf_counter()
         try:
             with ctx.Pool(
                 processes=workers,
@@ -193,9 +204,19 @@ def profile_workload_streams(
                 workers=1, chunk_batches=chunk_batches,
             )
         # Integer sums are order-independent, but accumulate in chunk
-        # order anyway so the code path mirrors the serial loop.
-        for _index, ones, n in sorted(results, key=lambda r: r[0]):
+        # order anyway so the code path mirrors the serial loop (and so
+        # telemetry counter merges are deterministic too).
+        tele = telemetry.active()
+        for _index, ones, n, deltas in sorted(results, key=lambda r: r[0]):
+            if tele is not None:
+                tele.merge_counters(deltas)
             _accumulate(ones, n)
+        telemetry.event(
+            "profile.pool",
+            workers=workers,
+            chunks=len(chunks),
+            elapsed_s=round(time.perf_counter() - t_pool, 6),
+        )
 
     sp = {name: totals[i] / samples for i, name in enumerate(names)}
     ones_by_net = {name: totals[i] for i, name in enumerate(names)}

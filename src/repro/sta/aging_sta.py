@@ -14,6 +14,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..aging.charlib import AgingTimingLibrary
 from ..aging.corners import OperatingCorner, WORST_CORNER
+from ..core import telemetry
 from ..core.config import AgingAnalysisConfig
 from ..netlist.netlist import Netlist
 from ..sim.probes import SPProfile
@@ -143,21 +144,29 @@ class AgingAwareSta:
         """
         period = clock_period_ns or self.derive_period()
 
-        fresh_arrivals = self.clock_tree.fresh_arrivals()
-        fresh_model = DelayModel.fresh(self.netlist, self.corner)
-        fresh_model.clock_early = fresh_arrivals
-        fresh_model.clock_late = fresh_arrivals
-        fresh_report = StaticTimingAnalyzer(
-            self.netlist, fresh_model, vectorized=self.vectorized
-        ).check(period, self.config.max_paths_per_endpoint)
+        with telemetry.span("sta.fresh", period_ns=round(period, 4)):
+            fresh_arrivals = self.clock_tree.fresh_arrivals()
+            fresh_model = DelayModel.fresh(self.netlist, self.corner)
+            fresh_model.clock_early = fresh_arrivals
+            fresh_model.clock_late = fresh_arrivals
+            fresh_report = StaticTimingAnalyzer(
+                self.netlist, fresh_model, vectorized=self.vectorized
+            ).check(period, self.config.max_paths_per_endpoint)
 
-        if aged_model is None:
-            aged_model, increase = self.aged_delay_model(profile)
-        else:
-            increase = dict(delay_increase or {})
-        aged_report = StaticTimingAnalyzer(
-            self.netlist, aged_model, vectorized=self.vectorized
-        ).check(period, self.config.max_paths_per_endpoint)
+        with telemetry.span("sta.aged", period_ns=round(period, 4)):
+            if aged_model is None:
+                aged_model, increase = self.aged_delay_model(profile)
+            else:
+                increase = dict(delay_increase or {})
+            aged_report = StaticTimingAnalyzer(
+                self.netlist, aged_model, vectorized=self.vectorized
+            ).check(period, self.config.max_paths_per_endpoint)
+        telemetry.add("sta.analyses")
+        telemetry.add(
+            "sta.paths_timed",
+            len(fresh_report.violations) + len(aged_report.violations),
+        )
+        telemetry.add("sta.violations", len(aged_report.violations))
         return AgingStaResult(
             report=aged_report,
             fresh_report=fresh_report,

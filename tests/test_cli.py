@@ -87,3 +87,55 @@ class TestCli:
         assert code == 0
         assert "round-trip equivalent: True" in text
         assert "optimizer" in text
+
+
+class TestRunAndTrace:
+    def test_run_traces_and_resumes(self, tmp_path):
+        from repro.core import telemetry
+
+        cache = str(tmp_path / "cache")
+        trace = str(tmp_path / "out.jsonl")
+        argv = ["run", "--unit", "alu", "--cache-dir", cache]
+
+        code, text = _run(argv + ["--trace", trace, "--metrics"])
+        assert code == 0
+        assert "Vega workflow report" in text
+        assert f"trace written to {trace}" in text
+        assert "# Vega run metrics" in text
+        # The written trace is valid JSONL covering all three phases.
+        records = telemetry.read_trace(trace)
+        phases = {
+            r["name"]
+            for r in records
+            if r["type"] == "span" and r.get("parent") is None
+        }
+        assert phases == {
+            "phase1.aging_analysis",
+            "phase2.error_lifting",
+            "phase3.test_integration",
+        }
+
+        # Second invocation resumes every phase from its checkpoint.
+        code, text = _run(argv + ["--resume"])
+        assert code == 0
+        assert (
+            "resumed from checkpoints: phase1, phase2, phase3" in text
+        )
+
+        # The standalone summarizer renders the written trace.
+        code, text = _run(["trace", "summarize", trace])
+        assert code == 0
+        assert "## Phases" in text
+        assert "phase2.error_lifting" in text
+
+    def test_resume_requires_cache(self):
+        code, _ = _run(["run", "--unit", "alu", "--resume", "--no-cache"])
+        assert code == 2
+
+    def test_summarize_rejects_invalid_trace(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json}\n")
+        code, _ = _run(["trace", "summarize", str(bad)])
+        assert code == 1
+        code, _ = _run(["trace", "summarize", str(tmp_path / "missing")])
+        assert code == 1

@@ -1,0 +1,214 @@
+"""Regression tests for the phase-3 verdict, memoization, and overhead fixes.
+
+Three bugs, each locked here:
+
+1. ``AgingLibrary`` verdicts are ``lui``-encoded (``value << 12``), so a
+   genuine exit always has zero low 12 bits.  An exit with *nonzero* low
+   bits means the unit corrupted the verdict value itself — it must count
+   as a detection with **unknown** attribution, never be mapped to a test
+   (the high bits can land on a valid position by accident).
+2. ``suite_cycles()`` runs a full CPU pass; it must be memoized per
+   (strategy, test-case list) and invalidated when the list changes.
+3. ``estimate_overhead``/``plan`` must cost the *spliced* scheduling
+   strategy, not always the sequential suite, and the planned overhead
+   must equal the spliced program's measured instruction delta.
+"""
+
+import pytest
+
+from repro.core import telemetry
+from repro.core.config import TestIntegrationConfig
+from repro.cpu.alu_design import AluOp, alu_reference
+from repro.cpu.cpu import run_program
+from repro.integration.library_gen import FAULT_SENTINEL, AgingLibrary
+from repro.integration.profile import ProfileGuidedIntegrator
+from repro.lifting.models import CMode, FailureModel, ViolationKind
+from repro.lifting.testcase import TestCase, TestInstruction
+
+MODEL = FailureModel("x", "y", ViolationKind.SETUP, CMode.ONE)
+
+
+def _alu_case(name, triples):
+    mnemonic_op = {
+        "add": AluOp.ADD, "sub": AluOp.SUB, "xor": AluOp.XOR,
+        "and": AluOp.AND, "or": AluOp.OR,
+    }
+    case = TestCase(name=name, unit="alu", model=MODEL)
+    for mnemonic, a, b in triples:
+        case.instructions.append(
+            TestInstruction(
+                mnemonic=mnemonic,
+                operands={"rs1": a, "rs2": b},
+                expected=alu_reference(int(mnemonic_op[mnemonic]), a, b),
+            )
+        )
+    return case
+
+
+@pytest.fixture
+def library():
+    lib = AgingLibrary(name="t")
+    lib.test_cases.append(_alu_case("t_xor", [("xor", 0x5A, 0xFF)]))
+    lib.test_cases.append(_alu_case("t_add", [("add", 1, 2)]))
+    lib.test_cases.append(_alu_case("t_sub", [("sub", 100, 58)]))
+    return lib
+
+
+class _SmashEverythingAlu:
+    """Corrupts the LSB of every ALU result, whatever the op."""
+
+    def execute(self, op, a, b):
+        return (alu_reference(op, a, b) ^ 1) & 0xFFFFFFFF
+
+
+class TestVerdictDecoding:
+    def test_clean_exit(self, library):
+        result = library.decode_exit(0, [0, 1, 2])
+        assert not result.detected
+
+    def test_genuine_verdict_attributes(self, library):
+        result = library.decode_exit(2 << 12, [2, 0, 1], cycles=99)
+        assert result.detected
+        assert result.detected_index == 0
+        assert result.detected_by == "t_xor"
+        assert result.cycles == 99
+
+    def test_corrupted_low_bits_detect_without_attribution(self, library):
+        # High bits land on a *valid* position — attribution must still
+        # be withheld, because the whole value is untrustworthy.
+        result = library.decode_exit((2 << 12) | 7, [0, 1, 2])
+        assert result.detected
+        assert result.detected_by is None
+        assert result.detected_index is None
+
+    def test_every_low_bit_pattern_is_a_detection(self, library):
+        for low in (1, 0x7FF, 0xFFF):
+            result = library.decode_exit(low, [0, 1, 2])
+            assert result.detected
+            assert result.detected_by is None
+
+    def test_fault_sentinel_detects_without_attribution(self, library):
+        result = library.decode_exit(FAULT_SENTINEL, [0, 1, 2])
+        assert result.detected
+        assert result.detected_by is None
+
+    def test_out_of_range_position_detects_without_attribution(self, library):
+        result = library.decode_exit(99 << 12, [0, 1, 2])
+        assert result.detected
+        assert result.detected_by is None
+
+    def test_adversarial_alu_cannot_forge_the_verdict(self, library):
+        """End to end: the verdict path never touches the ALU backend.
+
+        The suite's constants come from the lui/lw pool and its exits
+        from bare ``lui``, so even an ALU that corrupts *every* result
+        yields a cleanly encoded exit — detection with precise
+        attribution to the first executed test.
+        """
+        result = library.run_suite(alu=_SmashEverythingAlu())
+        assert result.detected
+        assert result.detected_index == library.order("sequential")[0]
+        assert result.detected_by == "t_xor"
+
+
+class TestSuiteCyclesMemo:
+    def test_second_call_runs_nothing(self, library):
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            first = library.suite_cycles()
+            second = library.suite_cycles()
+        assert first == second > 0
+        assert tele.counters["integration.suite_runs"] == 1
+
+    def test_strategies_memoized_independently(self, library):
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            library.suite_cycles("sequential")
+            library.suite_cycles("random")
+            library.suite_cycles("sequential")
+            library.suite_cycles("random")
+        assert tele.counters["integration.suite_runs"] == 2
+
+    def test_changed_test_cases_invalidate(self, library):
+        before = library.suite_cycles()
+        library.test_cases.append(_alu_case("t_and", [("and", 3, 5)]))
+        tele = telemetry.Telemetry()
+        with telemetry.use(tele):
+            after = library.suite_cycles()
+        assert tele.counters["integration.suite_runs"] == 1
+        assert after > before
+
+    def test_empty_library_costs_nothing(self):
+        assert AgingLibrary(name="empty").suite_cycles() == 0
+
+
+class TestOverheadStrategyThreading:
+    APP = """
+        li s0, 0
+        li s1, 16
+    outer:
+        li s2, 200
+    inner:
+        add s0, s0, s2
+        addi s2, s2, -1
+        bnez s2, inner
+        addi s1, s1, -1
+        bnez s1, outer
+        mv a0, s0
+        ecall
+    """
+
+    def _measured_overhead(self, app):
+        baseline = run_program(self.APP)
+        result, fault = app.run()
+        assert not fault
+        return (result.instructions - baseline.instructions) / (
+            baseline.instructions
+        )
+
+    def test_plan_threads_strategy(self, library):
+        integrator = ProfileGuidedIntegrator(library)
+        app = integrator.integrate(self.APP, strategy="random")
+        assert app.plan.strategy == "random"
+
+    def test_spliced_routine_uses_requested_schedule(self, library):
+        # Seed 2024 shuffles [0, 1, 2] into a non-identity order, so a
+        # sequentially-scheduled splice would order the bodies wrong.
+        order = library.order("random")
+        assert order != library.order("sequential")
+        integrator = ProfileGuidedIntegrator(library)
+        app = integrator.integrate(self.APP, strategy="random")
+        names = [library.test_cases[i].name for i in order]
+        positions = [app.source.index(f"# {name} ") for name in names]
+        assert positions == sorted(positions)
+
+    @pytest.mark.parametrize("strategy", ["sequential", "random"])
+    def test_planned_overhead_matches_measured_ungated(self, library, strategy):
+        integrator = ProfileGuidedIntegrator(
+            library, TestIntegrationConfig(overhead_threshold=0.9)
+        )
+        app = integrator.integrate(self.APP, strategy=strategy)
+        assert not app.plan.gated
+        assert app.plan.estimated_overhead == pytest.approx(
+            self._measured_overhead(app), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("strategy", ["sequential", "random"])
+    def test_planned_overhead_matches_measured_gated(self, library, strategy):
+        integrator = ProfileGuidedIntegrator(
+            library, TestIntegrationConfig(overhead_threshold=0.001)
+        )
+        app = integrator.integrate(self.APP, strategy=strategy)
+        assert app.plan.gated
+        assert app.plan.estimated_overhead == pytest.approx(
+            self._measured_overhead(app), abs=1e-12
+        )
+
+    def test_visit_costs_memoized(self, library):
+        integrator = ProfileGuidedIntegrator(library)
+        from repro.integration.profile import IntegrationPlan
+
+        plan = IntegrationPlan("outer", 16, 0.0, gate_period=4)
+        first = integrator._visit_costs(plan)
+        integrator._harness_cost = None  # any further call would crash
+        assert integrator._visit_costs(plan) == first

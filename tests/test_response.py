@@ -43,7 +43,9 @@ def protected_app():
 
     The generous overhead budget keeps the tests ungated so every run
     deterministically executes them (the Figure 9 benchmarks cover the
-    gated regime on full-size workloads).
+    gated regime on full-size workloads).  The budget is measured
+    against the empirically costed call site, which on this tiny kernel
+    is a little under 1x the application itself.
     """
     lifter = ErrorLifter(build_alu(), ErrorLiftingConfig(), AluMapper())
     violation = TimingViolation(
@@ -53,7 +55,7 @@ def protected_app():
         name="prot", test_cases=lifter.lift_pair(violation).test_cases
     )
     integrator = ProfileGuidedIntegrator(
-        library, TestIntegrationConfig(overhead_threshold=0.5)
+        library, TestIntegrationConfig(overhead_threshold=2.0)
     )
     app = integrator.integrate(APP)
     assert not app.plan.gated  # tests run on every visit
