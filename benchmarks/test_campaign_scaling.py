@@ -1,0 +1,169 @@
+"""Scaling — the campaign engine vs a naive per-device loop.
+
+The naive fleet loop pays every suite's fixed costs once *per device*:
+it re-assembles the vega and random suites, regenerates and re-runs the
+SiliFuzz corpus against the golden model, and re-instruments the failing
+netlist for each device it visits.  The campaign engine hoists all of
+that to per-campaign (or per-failure-model) work — devices share
+assembled programs, the generated corpus, and instrumented netlists —
+so its per-device cost is pure co-simulation.  Sharded fork workers
+then scale that across cores where available.
+
+This benchmark samples one fleet, runs it through both paths, checks
+the per-device verdicts agree exactly, and records the devices/sec
+table.  Acceptance: the engine (serial) is at least 3x faster than the
+naive loop — an algorithmic floor that holds on a single CPU.
+
+``VEGA_SMOKE=1`` shrinks the fleet and relaxes the threshold so CI can
+exercise every path in seconds.
+"""
+
+import os
+import time
+
+from repro.baselines.random_tests import random_suite
+from repro.baselines.silifuzz_lite import SiliFuzzLite
+from repro.campaign import CampaignEngine, sample_fleet
+from repro.core.config import CampaignConfig
+from repro.core.rng import stream_seed
+from repro.cpu.cosim import GateAluBackend
+from repro.integration.library_gen import AgingLibrary
+from repro.lifting.instrument import make_failing_netlist
+
+SMOKE = os.environ.get("VEGA_SMOKE") == "1"
+DEVICES = 6 if SMOKE else 32
+MIN_SPEEDUP = 1.5 if SMOKE else 3.0
+REPEATS = 1 if SMOKE else 3
+
+
+def _timed(fn, repeats=REPEATS):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _config(workers):
+    return CampaignConfig(
+        devices=DEVICES,
+        seed=2024,
+        shard_size=4,
+        workers=workers,
+        silifuzz_snapshots=3,
+        base_onset_years=6.0,
+    )
+
+
+def _naive_fleet(ctx, fleet, config):
+    """Seed-style loop: every per-suite fixed cost paid per device."""
+    unit = ctx.alu
+    verdicts = []
+    size = max(1, len(unit.suite(False).test_cases))
+    for spec in fleet:
+        # Fresh library objects: assembly happens again for this device.
+        vega = AgingLibrary(
+            name="vega_naive",
+            test_cases=list(unit.suite(False).test_cases),
+        )
+        rnd = random_suite(
+            "alu", size, seed=stream_seed("campaign.random_suite", config.seed)
+        )
+        fuzz = SiliFuzzLite(
+            "alu", seed=stream_seed("campaign.silifuzz", config.seed)
+        )
+        snapshots = fuzz.corpus(config.silifuzz_snapshots)
+        if spec.faulty:
+            failing = make_failing_netlist(unit.netlist, spec.model).netlist
+
+            def backends():
+                # Fresh backend per suite: each suite sees the device's
+                # RNG stream from its seed (as the engine guarantees).
+                return {
+                    "alu": GateAluBackend(failing, seed=spec.backend_seed)
+                }
+
+        else:
+
+            def backends():
+                return {}
+
+        verdicts.append(
+            (
+                spec.device_id,
+                vega.run_suite(**backends()).detected,
+                rnd.run_suite(**backends()).detected,
+                bool(fuzz.detects(snapshots, **backends())["detected"]),
+            )
+        )
+    return verdicts
+
+
+def _engine_fleet(ctx, workers):
+    engine = CampaignEngine(
+        ctx.alu.netlist,
+        "alu",
+        ctx.alu.suite(False),
+        ctx.alu.failure_models(),
+        _config(workers),
+    )
+    return engine.run()
+
+
+def _engine_verdicts(report):
+    return [
+        (
+            row["device"],
+            *(
+                outcome["detected"]
+                for outcome in row["outcomes"]
+            ),
+        )
+        for row in report.device_rows
+    ]
+
+
+def test_campaign_scaling(ctx, benchmark, save_table):
+    config = _config(1)
+    models = ctx.alu.failure_models()
+    fleet = sample_fleet(config, models, config.base_onset_years)
+    _engine_fleet(ctx, 1)  # warm compile / assembly / netlist caches
+
+    naive_time, naive_verdicts = _timed(
+        lambda: _naive_fleet(ctx, fleet, config), repeats=1
+    )
+    serial_time, serial_report = _timed(lambda: _engine_fleet(ctx, 1))
+    par_time, par_report = _timed(lambda: _engine_fleet(ctx, 0))
+
+    # Both paths must call every device identically, and the report must
+    # be worker-count invariant.
+    assert _engine_verdicts(serial_report) == naive_verdicts
+    assert par_report.to_json() == serial_report.to_json()
+
+    rows = [
+        f"ALU campaign: {DEVICES}-device fleet, "
+        f"{len(models)} failure models, 3 suites, "
+        f"{os.cpu_count()} CPU(s)"
+        + (" [smoke]" if SMOKE else ""),
+        "path                              | wall (s) | devices/s | speedup",
+    ]
+    for label, wall in (
+        ("naive per-device loop", naive_time),
+        ("campaign engine (serial)", serial_time),
+        ("campaign engine (workers=0)", par_time),
+    ):
+        rows.append(
+            f"{label:33s} | {wall:8.3f} | {DEVICES / wall:9.1f} "
+            f"| {naive_time / wall:6.2f}x"
+        )
+    save_table("campaign_scaling", "\n".join(rows))
+
+    assert naive_time / serial_time >= MIN_SPEEDUP, (
+        f"campaign engine only {naive_time / serial_time:.2f}x faster "
+        f"than the naive loop"
+    )
+
+    report = benchmark(lambda: _engine_fleet(ctx, 1))
+    assert report.devices == DEVICES

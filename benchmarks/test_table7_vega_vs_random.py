@@ -17,17 +17,18 @@ RANDOM_RUNS = 10
 
 
 def test_table7_vega_vs_random(ctx, benchmark, save_table):
-    rows = ["Unit | FM | Vega% | Random%"]
+    rows = ["Unit | FM | Vega% | Random% | RndStall%"]
     results = {}
     for unit_name in ("alu", "fpu"):
         unit = ctx.unit(unit_name)
         for mode in (CMode.ZERO, CMode.ONE, CMode.RANDOM):
             vega = unit.vega_detection_rate(mode)
-            rand = unit.random_detection_rate(mode, runs=RANDOM_RUNS)
-            results[(unit_name, mode)] = (vega, rand)
+            baseline = unit.random_detection_rate(mode, runs=RANDOM_RUNS)
+            results[(unit_name, mode)] = (vega, baseline.detected_pct)
             rows.append(
                 f"{unit_name.upper():4s} | {mode.value:2s} | "
-                f"{vega:5.1f} | {rand:5.1f}"
+                f"{vega:5.1f} | {baseline.detected_pct:5.1f} | "
+                f"{baseline.stalled_pct:5.1f}"
             )
     save_table("table7_vega_vs_random", "\n".join(rows))
 

@@ -14,7 +14,8 @@ from typing import List
 
 from ..cpu.alu_design import VALID_ALU_OPS, AluOp, alu_reference
 from ..cpu.fpu_design import VALID_FPU_OPS, FpuOp, fpu_reference
-from ..cpu.mappers import ALU_MNEMONIC, FPU_MNEMONIC
+from ..cpu.mappers import ALU_MNEMONIC, FPU_MNEMONIC, MDU_MNEMONIC
+from ..cpu.mdu_design import VALID_MDU_OPS, MduOp, mdu_reference
 from ..integration.library_gen import AgingLibrary
 from ..lifting.models import CMode, FailureModel, ViolationKind
 from ..lifting.testcase import TestCase, TestInstruction
@@ -56,6 +57,28 @@ def random_fpu_test(rng: random.Random, name: str) -> TestCase:
     return case
 
 
+def random_mdu_test(rng: random.Random, name: str) -> TestCase:
+    op = rng.choice(VALID_MDU_OPS)
+    a = rng.getrandbits(32)
+    b = rng.getrandbits(32)
+    case = TestCase(name=name, unit="mdu", model=_PLACEHOLDER)
+    case.instructions.append(
+        TestInstruction(
+            mnemonic=MDU_MNEMONIC[MduOp(op)],
+            operands={"rs1": a, "rs2": b},
+            expected=mdu_reference(op, a, b),
+        )
+    )
+    return case
+
+
+_MAKERS = {
+    "alu": random_alu_test,
+    "fpu": random_fpu_test,
+    "mdu": random_mdu_test,
+}
+
+
 def random_suite(
     unit: str,
     count: int,
@@ -63,9 +86,12 @@ def random_suite(
     name: str = "random_tests",
 ) -> AgingLibrary:
     """A random suite with ``count`` single-instruction tests."""
+    try:
+        maker = _MAKERS[unit]
+    except KeyError:
+        raise ValueError(f"unknown unit {unit!r}") from None
     rng = random.Random(seed)
     library = AgingLibrary(name=name, seed=seed)
-    maker = random_alu_test if unit == "alu" else random_fpu_test
     for index in range(count):
         library.test_cases.append(maker(rng, f"rnd_{unit}_{index}"))
     return library

@@ -121,21 +121,36 @@ class SiliFuzzLite:
         return snapshots
 
     # -- detection -------------------------------------------------------
+    def assemble_corpus(self, snapshots: Sequence[Snapshot]) -> List:
+        """Pre-assembled programs for :meth:`detects`.
+
+        A campaign replays one corpus against every device of a fleet;
+        assembling each snapshot once and passing the programs back in
+        moves assembly out of the per-device loop.
+        """
+        return [assemble(snapshot.source) for snapshot in snapshots]
+
     def detects(
         self,
         snapshots: Sequence[Snapshot],
         alu=None,
         fpu=None,
         mdu=None,
+        programs: Optional[Sequence] = None,
     ) -> Dict[str, object]:
         """Replay the corpus against hardware backends.
+
+        ``programs`` (from :meth:`assemble_corpus`) skips re-assembly;
+        when omitted each snapshot is assembled on the fly.
 
         Returns {"detected": bool, "by": snapshot name or None,
         "cycles": cycles executed until detection (or total)}.
         """
+        if programs is None:
+            programs = self.assemble_corpus(snapshots)
         executed = 0
-        for snapshot in snapshots:
-            cpu = Cpu(assemble(snapshot.source), alu=alu, fpu=fpu, mdu=mdu)
+        for snapshot, program in zip(snapshots, programs):
+            cpu = Cpu(program, alu=alu, fpu=fpu, mdu=mdu)
             try:
                 result = cpu.run()
             except CpuStall:

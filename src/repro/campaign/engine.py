@@ -1,0 +1,631 @@
+"""Fleet campaign execution: shards, fork workers, resume.
+
+The engine turns a sampled fleet into per-device detection results and
+aggregates them into a :class:`~repro.campaign.report.CampaignReport`:
+
+* **Per-suite work is hoisted out of the per-device loop.**  The vega
+  and random suites assemble once (the :class:`AgingLibrary` program
+  memo), the SiliFuzz corpus generates and assembles once, and failing
+  netlists are instrumented once per distinct failure model — devices
+  sharing a model also share the compiled gate simulator, so the
+  per-device cost is pure simulation.  This is where the campaign's
+  devices/sec headroom over the one-off ``experiments.py`` path comes
+  from, independent of worker count.
+* **Shards are the unit of parallelism and of resume.**  Devices are
+  chunked into shards of ``CampaignConfig.shard_size``; shards fan out
+  across ``fork`` workers (runner state is inherited at fork time,
+  never pickled) and results re-assemble in shard order, so any worker
+  count produces a byte-identical report.  Each completed shard
+  publishes a pickled checkpoint through the artifact cache under a
+  content-addressed key; a killed campaign restarted with
+  ``resume=True`` loads completed shards and re-executes none of them.
+* **Telemetry mirrors the lifting engine's contract.**  Workers ship
+  counter deltas back with each shard; the parent folds them in shard
+  order and emits the ``campaign.device`` event stream plus per-shard
+  spans.  In serial mode each device additionally records its own
+  nested span.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..baselines.random_tests import random_suite
+from ..baselines.silifuzz_lite import SiliFuzzLite
+from ..core import telemetry
+from ..core.artifacts import ArtifactCache
+from ..core.config import CampaignConfig
+from ..core.rng import stream_seed
+from ..cpu.cosim import GateAluBackend, GateFpuBackend, GateMduBackend
+from ..integration.library_gen import AgingLibrary
+from ..lifting.instrument import make_failing_netlist
+from ..lifting.models import CMode, FailureModel
+from ..lifting.parallel import fork_available
+from ..netlist.netlist import Netlist
+from .fleet import DeviceSpec, fleet_digest, sample_fleet
+from .report import CampaignReport
+
+_BACKENDS = {
+    "alu": GateAluBackend,
+    "fpu": GateFpuBackend,
+    "mdu": GateMduBackend,
+}
+
+
+@dataclass
+class SuiteOutcome:
+    """One suite's verdict on one device."""
+
+    suite: str
+    detected: bool
+    stalled: bool
+    cycles: int
+    detected_by: Optional[str] = None
+
+    def as_row(self) -> dict:
+        return {
+            "suite": self.suite,
+            "detected": self.detected,
+            "stalled": self.stalled,
+            "cycles": self.cycles,
+            "detected_by": self.detected_by,
+        }
+
+
+@dataclass
+class DeviceResult:
+    """All campaign outcomes for one device (wall times excluded:
+    results must be identical for any worker count)."""
+
+    index: int
+    device_id: str
+    corner: str
+    onset_years: float
+    faulty: bool
+    model_label: Optional[str]
+    c_mode: Optional[str]
+    outcomes: List[SuiteOutcome] = field(default_factory=list)
+
+    @property
+    def detected(self) -> bool:
+        return any(outcome.detected for outcome in self.outcomes)
+
+    def as_row(self) -> dict:
+        return {
+            "device": self.device_id,
+            "corner": self.corner,
+            "onset_years": self.onset_years,
+            "faulty": self.faulty,
+            "model": self.model_label,
+            "c_mode": self.c_mode,
+            "outcomes": [outcome.as_row() for outcome in self.outcomes],
+        }
+
+
+class DeviceRunner:
+    """Executes every configured suite against one device at a time.
+
+    Built once per campaign; holds the assembled suite programs, the
+    SiliFuzz corpus, and a failure-model → instrumented-netlist memo.
+    With the ``fork`` start method the whole runner is inherited by
+    worker processes at fork time, so the per-campaign state ships to
+    each worker exactly once.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        unit: str,
+        config: CampaignConfig,
+        library: AgingLibrary,
+    ):
+        if unit not in _BACKENDS:
+            raise ValueError(f"unknown unit {unit!r}")
+        self.netlist = netlist
+        self.unit = unit
+        self.config = config
+        self.library = library
+        self._failing: Dict[str, Netlist] = {}
+        self._outcomes: Dict[tuple, List[SuiteOutcome]] = {}
+        self.random_library: Optional[AgingLibrary] = None
+        self.snapshots = []
+        self.snapshot_programs = []
+        self._fuzz: Optional[SiliFuzzLite] = None
+        if "vega" in config.suites:
+            library.program(config.strategy)  # warm the assembly memo
+        if "random" in config.suites:
+            size = config.random_suite_size or max(
+                1, len(library.test_cases)
+            )
+            self.random_library = random_suite(
+                unit,
+                size,
+                seed=stream_seed("campaign.random_suite", config.seed),
+                name="campaign_random",
+            )
+            self.random_library.program(config.strategy)
+        if "silifuzz" in config.suites:
+            self._fuzz = SiliFuzzLite(
+                unit,
+                seed=stream_seed("campaign.silifuzz", config.seed),
+            )
+            self.snapshots = self._fuzz.corpus(config.silifuzz_snapshots)
+            self.snapshot_programs = self._fuzz.assemble_corpus(
+                self.snapshots
+            )
+
+    # -- per-device pieces ---------------------------------------------
+    def failing_netlist(self, model: FailureModel) -> Netlist:
+        """Instrumented netlist for ``model`` (memoized per label).
+
+        Devices sharing a failure model share the netlist object, and
+        therefore the gate simulator's compiled step function — each
+        device still gets its own simulator *state*.
+        """
+        netlist = self._failing.get(model.label)
+        if netlist is None:
+            netlist = make_failing_netlist(self.netlist, model).netlist
+            self._failing[model.label] = netlist
+        return netlist
+
+    def backends(self, spec: DeviceSpec) -> dict:
+        """Backend kwargs for one device; healthy devices run golden."""
+        if not spec.faulty:
+            return {}
+        backend = _BACKENDS[self.unit](
+            self.failing_netlist(spec.model), seed=spec.backend_seed
+        )
+        return {self.unit: backend}
+
+    def _outcome_key(self, spec: DeviceSpec) -> tuple:
+        """Identity of a device's suite outcomes.
+
+        Outcomes are a pure function of the injected model; the backend
+        seed only enters for ``CMode.RANDOM`` models, whose ``fm_c``
+        port the co-simulation RNG drives.  Devices sharing a key share
+        one simulation — the fleet-level dedup that makes large
+        campaigns cheap.
+        """
+        if not spec.faulty:
+            return ("healthy",)
+        if spec.model.c_mode is CMode.RANDOM:
+            return ("model", spec.model.label, spec.backend_seed)
+        return ("model", spec.model.label)
+
+    def run_device(self, spec: DeviceSpec) -> DeviceResult:
+        """Run every configured suite against one device."""
+        key = self._outcome_key(spec)
+        outcomes = self._outcomes.get(key)
+        with telemetry.span(
+            "campaign.device",
+            device=spec.device_id,
+            corner=spec.corner,
+            faulty=spec.faulty,
+        ):
+            if outcomes is None:
+                outcomes = [
+                    self._run_suite(suite, spec)
+                    for suite in self.config.suites
+                ]
+                self._outcomes[key] = outcomes
+            else:
+                telemetry.add("campaign.outcome_memo_hits")
+        outcomes = list(outcomes)  # results are shared, never mutated
+        result = DeviceResult(
+            index=spec.index,
+            device_id=spec.device_id,
+            corner=spec.corner,
+            onset_years=spec.onset_years,
+            faulty=spec.faulty,
+            model_label=spec.model_label,
+            c_mode=spec.c_mode,
+            outcomes=outcomes,
+        )
+        telemetry.add("campaign.devices")
+        if spec.faulty:
+            telemetry.add("campaign.faulty_devices")
+            telemetry.add(
+                "campaign.detected_devices"
+                if result.detected
+                else "campaign.escapes"
+            )
+        return result
+
+    def _run_suite(self, suite: str, spec: DeviceSpec) -> SuiteOutcome:
+        backends = self.backends(spec)
+        if suite in ("vega", "random"):
+            library = self.library if suite == "vega" else self.random_library
+            result = library.run_suite(
+                strategy=self.config.strategy,
+                max_instructions=self.config.max_suite_instructions,
+                **backends,
+            )
+            if result.stalled:
+                telemetry.add("campaign.stalls")
+            return SuiteOutcome(
+                suite=suite,
+                detected=result.detected,
+                stalled=result.stalled,
+                cycles=result.cycles,
+                detected_by=result.detected_by,
+            )
+        if suite == "silifuzz":
+            verdict = self._fuzz.detects(
+                self.snapshots, programs=self.snapshot_programs, **backends
+            )
+            if verdict["stalled"]:
+                telemetry.add("campaign.stalls")
+            return SuiteOutcome(
+                suite=suite,
+                detected=bool(verdict["detected"]),
+                stalled=bool(verdict["stalled"]),
+                cycles=int(verdict["cycles"]),
+                detected_by=verdict["by"],
+            )
+        raise ValueError(f"unknown campaign suite {suite!r}")
+
+
+# ---------------------------------------------------------------------
+# Fork-worker plumbing (mirrors repro.lifting.parallel).
+# ---------------------------------------------------------------------
+_WORKER_RUNNER: Optional[DeviceRunner] = None
+
+
+def _init_worker(runner: DeviceRunner) -> None:
+    """Install the campaign runner in a freshly forked worker."""
+    global _WORKER_RUNNER
+    telemetry.install(telemetry.Telemetry(run_id="campaign-worker"))
+    _WORKER_RUNNER = runner
+
+
+def _run_shard(
+    task: Tuple[int, List[DeviceSpec]]
+) -> Tuple[int, List[DeviceResult], float, Dict[str, float]]:
+    shard_index, specs = task
+    assert _WORKER_RUNNER is not None
+    tele = telemetry.active()
+    base = tele.snapshot() if tele is not None else {}
+    t0 = time.perf_counter()
+    results = [_WORKER_RUNNER.run_device(spec) for spec in specs]
+    wall = time.perf_counter() - t0
+    deltas = tele.counter_deltas(base) if tele is not None else {}
+    return shard_index, results, wall, deltas
+
+
+class CampaignEngine:
+    """Samples a fleet, executes it in shards, aggregates the report.
+
+    After :meth:`run`, ``executed_shards`` and ``resumed_shards`` list
+    which shard indices were computed vs loaded from checkpoints —
+    execution bookkeeping that deliberately never enters the report.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        unit: str,
+        library: AgingLibrary,
+        failing_models: Sequence[FailureModel],
+        config: Optional[CampaignConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        base_onset_years: Optional[float] = None,
+    ):
+        self.netlist = netlist
+        self.unit = unit
+        self.library = library
+        self.failing_models = list(failing_models)
+        self.config = config or CampaignConfig()
+        self.cache = cache
+        if base_onset_years is None:
+            base_onset_years = self.config.base_onset_years
+        if base_onset_years is None:
+            # No sweep and no config value: assume mid-life onset.
+            base_onset_years = 0.6 * self.config.mission_years
+        self.base_onset_years = float(base_onset_years)
+        self.executed_shards: List[int] = []
+        self.resumed_shards: List[int] = []
+        self.report_path = None
+
+    # -- construction from the shared experiment pipeline ---------------
+    @classmethod
+    def for_unit(
+        cls,
+        unit_experiment,
+        config: Optional[CampaignConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+        mitigation: bool = False,
+        onset_sweep_years: Sequence[float] = (2.5, 5.0, 7.5, 10.0),
+    ) -> "CampaignEngine":
+        """Engine over a :class:`~repro.core.experiments.UnitExperiment`.
+
+        Pulls the unit's vega library and constructed failure-model
+        catalogue from the cached pipeline; when the config does not
+        pin ``base_onset_years``, derives it from a coarse
+        :class:`~repro.core.lifetime.LifetimeSimulator` sweep (first
+        onset across ``onset_sweep_years``, falling back to the mission
+        midpoint if nothing onsets inside the sweep).
+        """
+        config = config or CampaignConfig()
+        base = config.base_onset_years
+        if base is None:
+            from ..core.experiments import CLOCK_CHAIN_LENGTH
+            from ..core.lifetime import LifetimeSimulator
+
+            simulator = LifetimeSimulator(
+                unit_experiment.netlist,
+                unit_experiment.sp_profile,
+                config=unit_experiment.context.config.aging,
+                gated_instances=unit_experiment.gated_instances(),
+                clock_chain_length=CLOCK_CHAIN_LENGTH,
+            )
+            sweep = simulator.sweep(list(onset_sweep_years))
+            base = sweep.first_onset_years
+            if base is None:
+                base = 0.6 * config.mission_years
+        return cls(
+            unit_experiment.netlist,
+            unit_experiment.unit,
+            unit_experiment.suite(mitigation),
+            unit_experiment.failure_models(),
+            config=config,
+            cache=cache,
+            base_onset_years=base,
+        )
+
+    # -- cache keys ----------------------------------------------------
+    def campaign_key(self, fleet: Sequence[DeviceSpec]) -> str:
+        """Content-addressed identity of this campaign.
+
+        Everything that changes results enters the digest; ``workers``
+        does not (any worker count produces the same report).
+        ``shard_size`` does, because it defines the checkpoint units.
+        """
+        config = self.config
+        return ArtifactCache.digest(
+            "campaign",
+            self.netlist.structural_hash(),
+            self.unit,
+            [
+                config.seed,
+                config.devices,
+                config.shard_size,
+                list(config.suites),
+                config.strategy,
+                config.mission_years,
+                config.onset_sigma,
+                config.worst_corner_fraction,
+                config.random_suite_size,
+                config.silifuzz_snapshots,
+                config.max_suite_instructions,
+            ],
+            round(self.base_onset_years, 9),
+            fleet_digest(fleet),
+            self.library.suite_source(config.strategy),
+        )
+
+    def _shard_key(
+        self, campaign_key: str, index: int, shard: Sequence[DeviceSpec]
+    ) -> str:
+        return ArtifactCache.digest(
+            "campaign-shard",
+            campaign_key,
+            index,
+            [spec.device_id for spec in shard],
+        )
+
+    def _load_shard(
+        self, campaign_key: str, index: int, shard: Sequence[DeviceSpec]
+    ) -> Optional[List[DeviceResult]]:
+        if self.cache is None:
+            return None
+        payload = self.cache.load_checkpoint(
+            self._shard_key(campaign_key, index, shard)
+        )
+        if not isinstance(payload, list) or len(payload) != len(shard):
+            return None
+        if any(
+            not isinstance(r, DeviceResult) or r.device_id != spec.device_id
+            for r, spec in zip(payload, shard)
+        ):
+            return None
+        return payload
+
+    def _publish_shard(
+        self,
+        campaign_key: str,
+        index: int,
+        shard: Sequence[DeviceSpec],
+        results: List[DeviceResult],
+    ) -> None:
+        if self.cache is not None:
+            self.cache.store_checkpoint(
+                self._shard_key(campaign_key, index, shard), results
+            )
+
+    # -- execution -----------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignReport:
+        """Execute the campaign; returns the aggregated report.
+
+        With a cache attached, every completed shard is checkpointed as
+        it finishes and the final report JSON is published under the
+        campaign key.  ``resume=True`` loads completed shards instead
+        of re-executing them.
+        """
+        config = self.config
+        fleet = sample_fleet(
+            config, self.failing_models, self.base_onset_years
+        )
+        shards = [
+            fleet[start : start + config.shard_size]
+            for start in range(0, len(fleet), config.shard_size)
+        ]
+        key = self.campaign_key(fleet)
+        self.executed_shards = []
+        self.resumed_shards = []
+        results_by_shard: Dict[int, List[DeviceResult]] = {}
+
+        with telemetry.span(
+            "campaign.run",
+            unit=self.unit,
+            devices=len(fleet),
+            shards=len(shards),
+            suites=",".join(config.suites),
+        ) as span:
+            pending: List[Tuple[int, List[DeviceSpec]]] = []
+            for index, shard in enumerate(shards):
+                cached = (
+                    self._load_shard(key, index, shard) if resume else None
+                )
+                if cached is not None:
+                    results_by_shard[index] = cached
+                    self.resumed_shards.append(index)
+                    telemetry.event(
+                        "campaign.shard_resumed",
+                        shard=index,
+                        devices=len(shard),
+                    )
+                else:
+                    pending.append((index, shard))
+
+            runner = DeviceRunner(
+                self.netlist, self.unit, config, self.library
+            )
+            for index, results in self._execute(runner, pending, key):
+                results_by_shard[index] = results
+                self.executed_shards.append(index)
+
+            results = [
+                result
+                for index in sorted(results_by_shard)
+                for result in results_by_shard[index]
+            ]
+            report = CampaignReport.from_results(
+                self.unit, config, results, self.base_onset_years
+            )
+            if span is not None:
+                span.annotate(
+                    executed=len(self.executed_shards),
+                    resumed=len(self.resumed_shards),
+                    escapes=report.escapes,
+                )
+            if self.cache is not None:
+                self.report_path = self.cache.store(
+                    "campaign-report", key, report.to_json()
+                )
+        return report
+
+    def _execute(
+        self,
+        runner: DeviceRunner,
+        pending: Sequence[Tuple[int, List[DeviceSpec]]],
+        campaign_key: str,
+    ):
+        """Yield ``(shard_index, results)``, checkpointing each shard."""
+        workers = int(self.config.workers)
+        if workers <= 0:
+            workers = os.cpu_count() or 1
+        workers = min(workers, len(pending)) if pending else 1
+        if workers > 1 and fork_available():
+            yield from self._execute_pool(
+                runner, pending, campaign_key, workers
+            )
+            return
+        yield from self._execute_serial(runner, pending, campaign_key)
+
+    def _execute_serial(
+        self,
+        runner: DeviceRunner,
+        pending: Sequence[Tuple[int, List[DeviceSpec]]],
+        campaign_key: str,
+    ):
+        for index, shard in pending:
+            with telemetry.span(
+                "campaign.shard", shard=index, devices=len(shard)
+            ):
+                t0 = time.perf_counter()
+                results = [runner.run_device(spec) for spec in shard]
+                self._finish_shard(
+                    campaign_key,
+                    index,
+                    shard,
+                    results,
+                    time.perf_counter() - t0,
+                )
+            yield index, results
+
+    def _execute_pool(
+        self,
+        runner: DeviceRunner,
+        pending: Sequence[Tuple[int, List[DeviceSpec]]],
+        campaign_key: str,
+        workers: int,
+    ):
+        ctx = multiprocessing.get_context("fork")
+        shard_by_index = dict(pending)
+        t_pool = time.perf_counter()
+        try:
+            pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(runner,),
+            )
+        except (OSError, ValueError):  # pool could not start: degrade
+            yield from self._execute_serial(runner, pending, campaign_key)
+            return
+        tele = telemetry.active()
+        busy = 0.0
+        with pool:
+            # imap preserves submission order and lets finished shards
+            # checkpoint while stragglers are still running.
+            for index, results, wall, deltas in pool.imap(
+                _run_shard, list(pending)
+            ):
+                if tele is not None:
+                    tele.merge_counters(deltas)
+                busy += wall
+                self._finish_shard(
+                    campaign_key,
+                    index,
+                    shard_by_index[index],
+                    results,
+                    wall,
+                )
+                yield index, results
+        elapsed = time.perf_counter() - t_pool
+        if tele is not None and elapsed > 0:
+            telemetry.event(
+                "campaign.pool",
+                workers=workers,
+                elapsed_s=round(elapsed, 6),
+                busy_s=round(busy, 6),
+                utilization=round(busy / (elapsed * workers), 4),
+            )
+
+    def _finish_shard(
+        self,
+        campaign_key: str,
+        index: int,
+        shard: Sequence[DeviceSpec],
+        results: List[DeviceResult],
+        wall_s: float,
+    ) -> None:
+        """Parent-side bookkeeping: event stream + shard checkpoint."""
+        for result in results:
+            telemetry.event(
+                "campaign.device",
+                device=result.device_id,
+                corner=result.corner,
+                faulty=result.faulty,
+                detected=result.detected,
+                suites={
+                    o.suite: ("stall" if o.stalled else o.detected)
+                    for o in result.outcomes
+                },
+            )
+        telemetry.add("campaign.shards")
+        telemetry.add("campaign.shard_wall_s", wall_s)
+        self._publish_shard(campaign_key, index, shard, results)

@@ -1,0 +1,269 @@
+"""The ``CampaignReport`` artifact: fleet metrics, serialized.
+
+A campaign's result is a pure function of the sampled fleet and the
+per-device suite outcomes — no wall-clock times or worker counts enter
+it, so the same config produces a byte-identical JSON artifact whether
+the fleet ran serially, across four workers, or resumed from shard
+checkpoints.  The engine publishes the JSON through the
+content-addressed artifact cache; :meth:`CampaignReport.to_markdown`
+renders the human view behind ``repro campaign report``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.config import CampaignConfig
+    from .engine import DeviceResult
+
+#: Device rows rendered in the markdown view before eliding.
+_MARKDOWN_DEVICE_CAP = 32
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated fleet metrics of one campaign run."""
+
+    unit: str
+    seed: int
+    devices: int
+    shard_size: int
+    suites: List[str] = field(default_factory=list)
+    base_onset_years: float = 0.0
+    mission_years: float = 0.0
+    faulty_devices: int = 0
+    healthy_devices: int = 0
+    detected_devices: int = 0
+    #: Faulty devices no suite detected — the fleet's SDC escape count.
+    escapes: int = 0
+    escape_rate_pct: float = 0.0
+    #: Healthy devices a suite flagged anyway (should stay 0).
+    false_positives: int = 0
+    #: suite -> c_mode -> {"total", "detected", "stalled"}.
+    coverage: Dict[str, Dict[str, Dict[str, int]]] = field(
+        default_factory=dict
+    )
+    #: corner name -> {"devices", "faulty", "detected", "escapes"}.
+    corners: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: suite -> {"detected", "mean_cycles", "min_cycles", "max_cycles"}.
+    time_to_detection: Dict[str, Dict[str, float]] = field(
+        default_factory=dict
+    )
+    #: One row per device, in fleet order.
+    device_rows: List[dict] = field(default_factory=list)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_results(
+        cls,
+        unit: str,
+        config: "CampaignConfig",
+        results: Sequence["DeviceResult"],
+        base_onset_years: float,
+    ) -> "CampaignReport":
+        """Aggregate per-device results (in fleet order)."""
+        results = sorted(results, key=lambda r: r.index)
+        faulty = [r for r in results if r.faulty]
+        healthy = [r for r in results if not r.faulty]
+        detected = [r for r in faulty if r.detected]
+        escapes = len(faulty) - len(detected)
+
+        coverage: Dict[str, Dict[str, Dict[str, int]]] = {}
+        ttd: Dict[str, List[int]] = {suite: [] for suite in config.suites}
+        for suite in config.suites:
+            coverage[suite] = {}
+        for result in faulty:
+            mode = result.c_mode or "?"
+            for outcome in result.outcomes:
+                bucket = coverage[outcome.suite].setdefault(
+                    mode, {"total": 0, "detected": 0, "stalled": 0}
+                )
+                bucket["total"] += 1
+                if outcome.detected:
+                    bucket["detected"] += 1
+                    ttd[outcome.suite].append(outcome.cycles)
+                if outcome.stalled:
+                    bucket["stalled"] += 1
+
+        corners: Dict[str, Dict[str, int]] = {}
+        for result in results:
+            stats = corners.setdefault(
+                result.corner,
+                {"devices": 0, "faulty": 0, "detected": 0, "escapes": 0},
+            )
+            stats["devices"] += 1
+            if result.faulty:
+                stats["faulty"] += 1
+                if result.detected:
+                    stats["detected"] += 1
+                else:
+                    stats["escapes"] += 1
+
+        time_to_detection: Dict[str, Dict[str, float]] = {}
+        for suite, cycles in ttd.items():
+            if not cycles:
+                time_to_detection[suite] = {"detected": 0}
+                continue
+            time_to_detection[suite] = {
+                "detected": len(cycles),
+                "mean_cycles": round(sum(cycles) / len(cycles), 3),
+                "min_cycles": min(cycles),
+                "max_cycles": max(cycles),
+            }
+
+        return cls(
+            unit=unit,
+            seed=config.seed,
+            devices=len(results),
+            shard_size=config.shard_size,
+            suites=list(config.suites),
+            base_onset_years=round(base_onset_years, 6),
+            mission_years=config.mission_years,
+            faulty_devices=len(faulty),
+            healthy_devices=len(healthy),
+            detected_devices=len(detected),
+            escapes=escapes,
+            escape_rate_pct=(
+                round(100.0 * escapes / len(faulty), 3) if faulty else 0.0
+            ),
+            false_positives=sum(1 for r in healthy if r.detected),
+            coverage=coverage,
+            corners=corners,
+            time_to_detection=time_to_detection,
+            device_rows=[r.as_row() for r in results],
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, stable floats, no run metadata."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignReport":
+        return cls(**json.loads(text))
+
+    # -- derived views -------------------------------------------------
+    def suite_coverage_pct(self, suite: str) -> float:
+        """Detection % of one suite across all faulty devices."""
+        buckets = self.coverage.get(suite, {})
+        total = sum(b["total"] for b in buckets.values())
+        hit = sum(b["detected"] for b in buckets.values())
+        return 100.0 * hit / total if total else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"campaign: {self.unit} fleet of {self.devices} "
+            f"(seed {self.seed}, onset ~{self.base_onset_years:.2f}y, "
+            f"mission {self.mission_years:.0f}y)",
+            f"  faulty: {self.faulty_devices}  "
+            f"detected: {self.detected_devices}  "
+            f"escapes: {self.escapes} ({self.escape_rate_pct:.1f}%)  "
+            f"false positives: {self.false_positives}",
+        ]
+        if self.suites:
+            lines.append(
+                "  coverage: "
+                + "  ".join(
+                    f"{suite} {self.suite_coverage_pct(suite):.1f}%"
+                    for suite in self.suites
+                )
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Full fleet report, suitable for dashboards and issues."""
+        lines = [
+            f"# Campaign report — `{self.unit}` fleet of {self.devices}",
+            "",
+            f"- seed: **{self.seed}**, base onset "
+            f"**{self.base_onset_years:.2f}y**, mission window "
+            f"**{self.mission_years:.0f}y**",
+            f"- faulty devices: **{self.faulty_devices}** "
+            f"({self.healthy_devices} healthy)",
+            f"- detected: **{self.detected_devices}**, SDC escapes: "
+            f"**{self.escapes}** ({self.escape_rate_pct:.1f}%)",
+            f"- false positives on healthy devices: "
+            f"**{self.false_positives}**",
+            "",
+        ]
+        if self.coverage:
+            lines += [
+                "## Detection coverage",
+                "",
+                "| suite | C | detected | stalled | total | coverage |",
+                "|---|---|---:|---:|---:|---:|",
+            ]
+            for suite in self.suites:
+                for mode in sorted(self.coverage.get(suite, {})):
+                    bucket = self.coverage[suite][mode]
+                    pct = (
+                        100.0 * bucket["detected"] / bucket["total"]
+                        if bucket["total"]
+                        else 0.0
+                    )
+                    lines.append(
+                        f"| {suite} | {mode} | {bucket['detected']} "
+                        f"| {bucket['stalled']} | {bucket['total']} "
+                        f"| {pct:.1f}% |"
+                    )
+            lines.append("")
+        if self.corners:
+            lines += [
+                "## Corners",
+                "",
+                "| corner | devices | faulty | detected | escapes |",
+                "|---|---:|---:|---:|---:|",
+            ]
+            for corner in sorted(self.corners):
+                stats = self.corners[corner]
+                lines.append(
+                    f"| {corner} | {stats['devices']} | {stats['faulty']} "
+                    f"| {stats['detected']} | {stats['escapes']} |"
+                )
+            lines.append("")
+        if self.time_to_detection:
+            lines += [
+                "## Time to detection (suite cycles)",
+                "",
+                "| suite | detections | mean | min | max |",
+                "|---|---:|---:|---:|---:|",
+            ]
+            for suite in self.suites:
+                stats = self.time_to_detection.get(suite, {"detected": 0})
+                if stats.get("detected"):
+                    lines.append(
+                        f"| {suite} | {stats['detected']} "
+                        f"| {stats['mean_cycles']:.1f} "
+                        f"| {stats['min_cycles']} "
+                        f"| {stats['max_cycles']} |"
+                    )
+                else:
+                    lines.append(f"| {suite} | 0 | - | - | - |")
+            lines.append("")
+        if self.device_rows:
+            lines += [
+                "## Devices",
+                "",
+                "| device | corner | onset (y) | model | detected by |",
+                "|---|---|---:|---|---|",
+            ]
+            for row in self.device_rows[:_MARKDOWN_DEVICE_CAP]:
+                detected_by = ", ".join(
+                    o["suite"]
+                    for o in row["outcomes"]
+                    if o["detected"]
+                )
+                lines.append(
+                    f"| {row['device']} | {row['corner']} "
+                    f"| {row['onset_years']:.2f} "
+                    f"| {row['model'] or '(healthy)'} "
+                    f"| {detected_by or '-'} |"
+                )
+            elided = len(self.device_rows) - _MARKDOWN_DEVICE_CAP
+            if elided > 0:
+                lines.append(f"| … | | | | ({elided} more device(s)) |")
+            lines.append("")
+        return "\n".join(lines).rstrip() + "\n"

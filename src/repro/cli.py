@@ -16,6 +16,7 @@ inject         emit a failing netlist as Verilog
 detect         run the generated suite against an injected failure
 integrate      phase 3: profile-guided splicing into a workload
 trace          summarize a JSONL telemetry trace
+campaign       fleet-scale fault-injection campaigns (run / report)
 =============  =====================================================
 """
 
@@ -183,6 +184,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_unit(p)
     p.add_argument("-o", "--output", required=True, help="output directory")
+
+    p = sub.add_parser(
+        "campaign",
+        help="fleet-scale fault-injection detection campaigns",
+    )
+    campaign_sub = p.add_subparsers(dest="campaign_command", required=True)
+    p = campaign_sub.add_parser(
+        "run",
+        help="sample a virtual fleet and run the detection suites "
+             "against every device (bit-identical for any --workers)",
+    )
+    _add_unit(p)
+    _add_mitigation(p)
+    p.add_argument("--devices", type=int, default=12,
+                   help="fleet size (default: 12)")
+    p.add_argument("--seed", type=int, default=2024,
+                   help="campaign seed; drives every fleet draw")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fork workers for device shards; 0 = one per CPU "
+                        "(reports are bit-identical for any worker count)")
+    p.add_argument("--shard-size", type=int, default=4,
+                   help="devices per shard (the checkpoint/resume unit)")
+    p.add_argument("--suites", default="vega,random,silifuzz",
+                   help="comma-separated detection suites to run")
+    p.add_argument("--strategy", choices=("sequential", "random"),
+                   default="sequential", help="suite scheduling strategy")
+    p.add_argument("--onset-years", type=float, default=None,
+                   help="base violation-onset age; defaults to a "
+                        "lifetime-sweep estimate for the unit")
+    p.add_argument("--resume", action="store_true",
+                   help="skip device shards already checkpointed in the "
+                        "artifact cache")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the CampaignReport JSON to FILE")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the campaign's JSONL telemetry trace")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the markdown metrics summary")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache (and shard resume)")
+    p.add_argument("--cache-dir", default=".vega-cache",
+                   help="artifact cache root (default: .vega-cache)")
+    p = campaign_sub.add_parser(
+        "report", help="render a CampaignReport JSON file as markdown"
+    )
+    p.add_argument("file", help="report JSON written by campaign run --report")
 
     p = sub.add_parser("integrate", help="profile-guided integration")
     p.add_argument("--workload", default="crc32")
@@ -467,6 +514,68 @@ def cmd_models(args, out) -> int:
     return 0
 
 
+def cmd_campaign(args, out) -> int:
+    from .campaign import CampaignEngine, CampaignReport
+
+    if args.campaign_command == "report":
+        try:
+            text = open(args.file).read()
+            report = CampaignReport.from_json(text)
+        except (OSError, ValueError, TypeError) as exc:
+            print(f"invalid campaign report: {exc}", file=sys.stderr)
+            return 1
+        print(report.to_markdown(), file=out)
+        return 0
+
+    from .core import telemetry
+    from .core.artifacts import ArtifactCache
+    from .core.config import CampaignConfig
+
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    suites = tuple(s.strip() for s in args.suites.split(",") if s.strip())
+    config = CampaignConfig(
+        devices=args.devices,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        workers=args.workers,
+        suites=suites,
+        strategy=args.strategy,
+        base_onset_years=args.onset_years,
+    )
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    ctx = default_context()
+    tele = telemetry.Telemetry()
+    with telemetry.use(tele):
+        engine = CampaignEngine.for_unit(
+            ctx.unit(args.unit),
+            config=config,
+            cache=cache,
+            mitigation=args.mitigation,
+        )
+        report = engine.run(resume=args.resume)
+    print(report.summary(), file=out)
+    if engine.resumed_shards:
+        print(f"  resumed {len(engine.resumed_shards)} shard(s) from "
+              f"checkpoints; executed {len(engine.executed_shards)}",
+              file=out)
+    if engine.report_path is not None:
+        print(f"  report cached at {engine.report_path}", file=out)
+    if args.report:
+        with open(args.report, "w") as fp:
+            fp.write(report.to_json())
+        print(f"  report written to {args.report}", file=out)
+    if args.trace:
+        tele.write_jsonl(args.trace)
+        print(f"  trace written to {args.trace}", file=out)
+    if args.metrics:
+        print(file=out)
+        print(tele.summary_markdown(), file=out)
+    return 0
+
+
 def cmd_integrate(args, out) -> int:
     from .core.config import TestIntegrationConfig
     from .cpu.cpu import run_program
@@ -521,6 +630,7 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
         "detect": cmd_detect,
         "verify": cmd_verify,
         "models": cmd_models,
+        "campaign": cmd_campaign,
         "integrate": cmd_integrate,
     }[args.command]
     return handler(args, out)

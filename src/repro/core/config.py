@@ -126,6 +126,65 @@ class TestIntegrationConfig:
 
 
 @dataclass
+class CampaignConfig:
+    """Fleet fault-injection campaigns (``repro.campaign``).
+
+    A campaign Monte-Carlos the paper's deployment story: a *fleet* of
+    devices, each with its own aging corner and violation-onset draw,
+    attacked by the detection suites that a data-center operator would
+    schedule.  All randomness flows through named RNG streams
+    (:mod:`repro.core.rng`) keyed by ``seed``, so the same config
+    always samples the same fleet.
+
+    Attributes:
+        devices: Virtual fleet size.
+        seed: Campaign seed; every per-device draw derives from it.
+        shard_size: Devices per execution shard.  A shard is both the
+            unit of parallel work and the unit of resume — each
+            completed shard publishes a checkpoint through the artifact
+            cache, and a resumed campaign skips completed shards.
+        workers: Process count for sharding devices across ``fork``
+            workers.  1 runs serially, 0 means one worker per CPU;
+            reports are bit-identical for any worker count, and
+            platforms without ``fork`` fall back to serial.
+        suites: Detection suites to run against every faulty device:
+            ``"vega"`` (the lifted library), ``"random"`` (the Table 7
+            baseline), ``"silifuzz"`` (the top-down fuzzing baseline).
+        strategy: Scheduling strategy for the vega/random suites.
+        mission_years: Deployment window; a device whose onset draw
+            lands inside it is faulty in the field.
+        onset_sigma: Log-normal spread of per-device onset draws around
+            the unit's base onset (workload-dependent aging makes onset
+            a distribution over the population, not a constant).
+        worst_corner_fraction: Fraction of the fleet operating at the
+            sign-off worst corner; the rest run the typical corner,
+            whose slower aging pushes onset later.
+        base_onset_years: Fleet-median violation onset.  ``None`` asks
+            the engine to derive it from a
+            :class:`~repro.core.lifetime.LifetimeSimulator` sweep of
+            the unit under analysis.
+        random_suite_size: Test count of the random baseline suite
+            (``None``: match the vega library, as Table 7 does).
+        silifuzz_snapshots: Corpus size for the SiliFuzz-style baseline.
+        max_suite_instructions: Instruction budget per suite execution.
+    """
+
+    devices: int = 12
+    seed: int = 2024
+    shard_size: int = 4
+    workers: int = 1
+    suites: Tuple[str, ...] = ("vega", "random", "silifuzz")
+    strategy: str = "sequential"
+    mission_years: float = 10.0
+    onset_sigma: float = 0.35
+    worst_corner_fraction: float = 0.5
+    base_onset_years: Optional[float] = None
+    random_suite_size: Optional[int] = None
+    silifuzz_snapshots: int = 6
+    max_suite_instructions: int = 500_000
+
+
+@dataclass
 class VegaConfig:
     """Top-level configuration: one section per workflow phase.
 
@@ -142,6 +201,7 @@ class VegaConfig:
     integration: TestIntegrationConfig = field(
         default_factory=TestIntegrationConfig
     )
+    campaign: CampaignConfig = field(default_factory=CampaignConfig)
     cache_dir: Optional[str] = None
 
     def with_mitigation(self, enabled: bool = True) -> "VegaConfig":

@@ -185,6 +185,12 @@ class AgingLibrary:
     _cycles_cache: Dict[tuple, int] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+    #: program() memo with the same key discipline; a campaign runs one
+    #: suite against hundreds of devices, and assembly is per-suite
+    #: work, not per-device work.
+    _program_cache: Dict[tuple, object] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     @classmethod
     def from_lifting_report(
@@ -239,8 +245,7 @@ class AgingLibrary:
         handshake-failure mode) also counts as detection, per §5.2.3.
         """
         executed = self.order(strategy)
-        program = assemble(self.suite_source(strategy))
-        cpu = Cpu(program, alu=alu, fpu=fpu, mdu=mdu)
+        cpu = Cpu(self.program(strategy), alu=alu, fpu=fpu, mdu=mdu)
         telemetry.add("integration.suite_runs")
         try:
             result = cpu.run(max_instructions=max_instructions)
@@ -249,6 +254,24 @@ class AgingLibrary:
                 detected=True, stalled=True, cycles=cpu.cycles
             )
         return self.decode_exit(result.exit_value, executed, result.cycles)
+
+    def program(self, strategy: str = "sequential"):
+        """The assembled suite program (memoized per strategy + cases).
+
+        ``Cpu`` copies the program's data image into its own memory, so
+        one assembled :class:`~repro.cpu.asm.Program` is safely shared
+        by every execution — the fleet campaign engine leans on this to
+        pay assembly once per suite instead of once per device.
+        """
+        key = (strategy, self._fingerprint())
+        program = self._program_cache.get(key)
+        if program is None:
+            program = assemble(self.suite_source(strategy))
+            self._program_cache = {
+                k: v for k, v in self._program_cache.items() if k[1] == key[1]
+            }
+            self._program_cache[key] = program
+        return program
 
     def decode_exit(
         self,

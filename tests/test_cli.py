@@ -139,3 +139,58 @@ class TestRunAndTrace:
         assert code == 1
         code, _ = _run(["trace", "summarize", str(tmp_path / "missing")])
         assert code == 1
+
+
+class TestCampaignCli:
+    def test_campaign_run_and_report(self, tmp_path):
+        report_file = str(tmp_path / "campaign.json")
+        code, text = _run(
+            [
+                "campaign", "run",
+                "--unit", "alu",
+                "--devices", "4",
+                "--shard-size", "2",
+                "--onset-years", "6",
+                "--report", report_file,
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "campaign: alu fleet of 4" in text
+        assert f"report written to {report_file}" in text
+
+        code, text = _run(["campaign", "report", report_file])
+        assert code == 0
+        assert "# Campaign report" in text
+        assert "## Detection coverage" in text
+
+        # Re-running with --resume recomputes nothing.
+        code, text = _run(
+            [
+                "campaign", "run",
+                "--unit", "alu",
+                "--devices", "4",
+                "--shard-size", "2",
+                "--onset-years", "6",
+                "--resume",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        assert code == 0
+        assert "resumed 2 shard(s) from checkpoints; executed 0" in text
+
+    def test_campaign_resume_requires_cache(self):
+        code, _ = _run(
+            ["campaign", "run", "--resume", "--no-cache"]
+        )
+        assert code == 2
+
+    def test_campaign_report_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json}")
+        code, _ = _run(["campaign", "report", str(bad)])
+        assert code == 1
+        code, _ = _run(
+            ["campaign", "report", str(tmp_path / "missing.json")]
+        )
+        assert code == 1

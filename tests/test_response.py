@@ -171,3 +171,124 @@ class TestFallback:
             backends={"alu": GateAluBackend(failing_alu)},
         )
         assert outcome.action is FaultAction.FELL_BACK
+
+
+class TestCampaignDevices:
+    """Response policies driven by campaign-sampled faulty devices.
+
+    The fleet sampler assigns each faulty device a failure model and a
+    backend seed; these tests wire those devices into the protected
+    application and assert the incident trail each policy leaves for
+    persistent vs transient faults.
+    """
+
+    @pytest.fixture(scope="class")
+    def faulty_devices(self):
+        from repro.campaign import sample_fleet
+        from repro.core.config import CampaignConfig
+
+        model = FailureModel(
+            "a_q_r0", "res_q_r31", ViolationKind.SETUP, CMode.ONE
+        )
+        config = CampaignConfig(
+            devices=6, seed=11, base_onset_years=6.0
+        )
+        fleet = sample_fleet(config, [model], 6.0)
+        faulty = [spec for spec in fleet if spec.faulty]
+        assert faulty, "fixture fleet must contain faulty devices"
+        return faulty
+
+    @pytest.fixture(scope="class")
+    def device_backend(self, faulty_devices, failing_alu):
+        spec = faulty_devices[0]
+        return GateAluBackend(failing_alu, seed=spec.backend_seed)
+
+    def test_persistent_fault_trail(
+        self, protected_app, faulty_devices, failing_alu
+    ):
+        # Every faulty device's injection is persistent: retry sees the
+        # fault again and escalates to retirement.
+        for spec in faulty_devices[:2]:
+            outcome = run_with_protection(
+                protected_app,
+                "alu",
+                backends={
+                    "alu": GateAluBackend(
+                        failing_alu, seed=spec.backend_seed
+                    )
+                },
+                policy=RetryResponse(),
+            )
+            assert outcome.action is FaultAction.RETIRED
+            assert [i.action for i in outcome.incidents] == [
+                FaultAction.RETIRED,
+                FaultAction.RETIRED,
+            ]
+            assert "recurred" in outcome.incidents[0].detail
+            assert not outcome.completed
+
+    def test_transient_fault_trail(
+        self, protected_app, faulty_devices, failing_alu
+    ):
+        # A device whose marginal path trips once (environmental noise,
+        # §6.2) and then holds: faulty backend first run, healthy after.
+        spec = faulty_devices[0]
+        probe = GateAluBackend(failing_alu, seed=spec.backend_seed)
+        protected_app.run(alu=probe)
+        ops_first_run = probe.operations
+
+        class SettlesAfterFirstRun:
+            def __init__(self):
+                self.bad = GateAluBackend(failing_alu, seed=spec.backend_seed)
+                self.calls = 0
+
+            def execute(self, op, a, b):
+                from repro.cpu.alu_design import alu_reference
+
+                self.calls += 1
+                if self.calls <= ops_first_run:
+                    return self.bad.execute(op, a, b)
+                return alu_reference(op, a, b)
+
+        outcome = run_with_protection(
+            protected_app,
+            "alu",
+            backends={"alu": SettlesAfterFirstRun()},
+            policy=RetryResponse(),
+        )
+        assert outcome.action is FaultAction.TRANSIENT
+        assert outcome.completed
+        assert [i.action for i in outcome.incidents] == [
+            FaultAction.TRANSIENT
+        ]
+        assert "did not recur" in outcome.incidents[0].detail
+
+    def test_fallback_recovers_device_result(
+        self, protected_app, device_backend
+    ):
+        outcome = run_with_protection(
+            protected_app,
+            "alu",
+            backends={"alu": device_backend},
+            policy=FallbackResponse(),
+        )
+        assert outcome.action is FaultAction.FELL_BACK
+        assert outcome.completed
+        baseline = run_program(APP)
+        assert outcome.result.exit_value == baseline.exit_value
+        assert [i.action for i in outcome.incidents] == [
+            FaultAction.FELL_BACK
+        ]
+
+    def test_retire_halts_device(self, protected_app, device_backend):
+        outcome = run_with_protection(
+            protected_app,
+            "alu",
+            backends={"alu": device_backend},
+            policy=RetireResponse(),
+        )
+        assert outcome.action is FaultAction.RETIRED
+        assert not outcome.completed
+        assert [i.action for i in outcome.incidents] == [
+            FaultAction.RETIRED
+        ]
