@@ -56,6 +56,23 @@ _BACKENDS = {
 }
 
 
+def device_outcome_key(spec: DeviceSpec) -> tuple:
+    """Identity of a device's detection outcomes.
+
+    Outcomes are a pure function of the injected model; the backend
+    seed only enters for ``CMode.RANDOM`` models, whose ``fm_c`` port
+    the co-simulation RNG drives.  Devices sharing a key share one
+    simulation — the fleet-level dedup that makes large campaigns
+    cheap.  The online scheduler's client adapter memoizes per-arm
+    outcomes under the same key.
+    """
+    if not spec.faulty:
+        return ("healthy",)
+    if spec.model.c_mode is CMode.RANDOM:
+        return ("model", spec.model.label, spec.backend_seed)
+    return ("model", spec.model.label)
+
+
 @dataclass
 class SuiteOutcome:
     """One suite's verdict on one device."""
@@ -131,6 +148,7 @@ class DeviceRunner:
         self.library = library
         self._failing: Dict[str, Netlist] = {}
         self._outcomes: Dict[tuple, List[SuiteOutcome]] = {}
+        self._suite_outcomes: Dict[tuple, SuiteOutcome] = {}
         self.random_library: Optional[AgingLibrary] = None
         self.snapshots = []
         self.snapshot_programs = []
@@ -182,19 +200,25 @@ class DeviceRunner:
         return {self.unit: backend}
 
     def _outcome_key(self, spec: DeviceSpec) -> tuple:
-        """Identity of a device's suite outcomes.
+        return device_outcome_key(spec)
 
-        Outcomes are a pure function of the injected model; the backend
-        seed only enters for ``CMode.RANDOM`` models, whose ``fm_c``
-        port the co-simulation RNG drives.  Devices sharing a key share
-        one simulation — the fleet-level dedup that makes large
-        campaigns cheap.
+    def suite_outcome(self, suite: str, spec: DeviceSpec) -> SuiteOutcome:
+        """One suite's verdict on one device (memoized per outcome key).
+
+        The scheduler's client adapter dispatches suites individually
+        rather than running the whole configured list, so this memo is
+        keyed per ``(outcome key, suite)`` — independent of
+        :meth:`run_device`'s all-suites memo.  Returned outcomes are
+        shared and must not be mutated.
         """
-        if not spec.faulty:
-            return ("healthy",)
-        if spec.model.c_mode is CMode.RANDOM:
-            return ("model", spec.model.label, spec.backend_seed)
-        return ("model", spec.model.label)
+        key = (self._outcome_key(spec), suite)
+        outcome = self._suite_outcomes.get(key)
+        if outcome is None:
+            outcome = self._run_suite(suite, spec)
+            self._suite_outcomes[key] = outcome
+        else:
+            telemetry.add("campaign.outcome_memo_hits")
+        return outcome
 
     def run_device(self, spec: DeviceSpec) -> DeviceResult:
         """Run every configured suite against one device."""

@@ -231,6 +231,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("file", help="report JSON written by campaign run --report")
 
+    p = sub.add_parser(
+        "serve",
+        help="run the online detection service over a simulated fleet "
+             "(streaming ingestion, belief checkpoints, event log)",
+    )
+    _add_scheduler(p)
+    p.add_argument("--kill-after", type=int, default=None, metavar="N",
+                   help="simulate an abrupt service death after N "
+                        "ingested results (for restart drills)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the latest belief checkpoint "
+                        "instead of starting fresh")
+
+    p = sub.add_parser(
+        "schedule",
+        help="drive an adaptive dispatch schedule to completion and "
+             "report per-policy detection outcomes",
+    )
+    _add_scheduler(p)
+    p.add_argument("--report", metavar="FILE",
+                   help="write the ScheduleReport JSON to FILE")
+    p.add_argument("--verify-replay", action="store_true",
+                   help="re-execute the run and verify the event log "
+                        "reproduces byte for byte")
+
     p = sub.add_parser("integrate", help="profile-guided integration")
     p.add_argument("--workload", default="crc32")
     p.add_argument("--threshold", type=float, default=0.01,
@@ -240,6 +265,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_mitigation(p)
 
     return parser
+
+
+def _add_scheduler(p) -> None:
+    """Arguments shared by the ``serve`` and ``schedule`` verbs."""
+    _add_unit(p)
+    _add_mitigation(p)
+    p.add_argument("--devices", type=int, default=12,
+                   help="fleet size (default: 12)")
+    p.add_argument("--seed", type=int, default=2024,
+                   help="fleet seed (same streams as campaign run)")
+    p.add_argument("--policy", default="thompson",
+                   help="dispatch policy: sequential, greedy, thompson")
+    p.add_argument("--policy-seed", type=int, default=7,
+                   help="seed for the policy's sampling streams")
+    p.add_argument("--budget", type=int, default=25_000,
+                   help="per-device cycle budget (default: 25000)")
+    p.add_argument("--batch-size", type=int, default=16,
+                   help="max dispatches per planning tick")
+    p.add_argument("--batch-window", type=int, default=4,
+                   help="scheduler passes to wait for a full batch")
+    p.add_argument("--queue", type=int, default=64,
+                   help="ingest queue bound (backpressure threshold)")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   help="belief checkpoint period, in ingested results")
+    p.add_argument("--suites", default="vega,random,silifuzz",
+                   help="comma-separated suites providing dispatch arms")
+    p.add_argument("--strategy", choices=("sequential", "random"),
+                   default="sequential", help="suite assembly strategy")
+    p.add_argument("--onset-years", type=float, default=None,
+                   help="base violation-onset age; defaults to a "
+                        "lifetime-sweep estimate for the unit")
+    p.add_argument("--log", metavar="FILE",
+                   help="write the JSONL event log to FILE")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache (and checkpoints)")
+    p.add_argument("--cache-dir", default=".vega-cache",
+                   help="artifact cache root (default: .vega-cache)")
 
 
 def _model_from_args(args) -> FailureModel:
@@ -312,7 +374,10 @@ def cmd_trace(args, out) -> int:
     try:
         records = telemetry.read_trace(args.file)
     except telemetry.TraceError as exc:
-        print(f"invalid trace: {exc}", file=sys.stderr)
+        if "empty" in str(exc):
+            print(f"no spans recorded: {args.file} is empty", file=sys.stderr)
+        else:
+            print(f"invalid trace: {exc}", file=sys.stderr)
         return 1
     print(telemetry.summarize_trace(records), file=out)
     return 0
@@ -576,6 +641,99 @@ def cmd_campaign(args, out) -> int:
     return 0
 
 
+def _scheduler_session(args):
+    """Build a ScheduleSession from shared serve/schedule arguments."""
+    from .core.artifacts import ArtifactCache
+    from .core.config import CampaignConfig, SchedulerConfig
+    from .scheduler import ScheduleSession
+
+    suites = tuple(s.strip() for s in args.suites.split(",") if s.strip())
+    config = CampaignConfig(
+        devices=args.devices,
+        seed=args.seed,
+        suites=suites,
+        strategy=args.strategy,
+        base_onset_years=args.onset_years,
+    )
+    scheduler = SchedulerConfig(
+        policy=args.policy,
+        policy_seed=args.policy_seed,
+        batch_size=args.batch_size,
+        batch_window=args.batch_window,
+        ingest_queue=args.queue,
+        checkpoint_every=args.checkpoint_every,
+        cycle_budget=args.budget,
+    )
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    ctx = default_context()
+    return ScheduleSession.for_unit(
+        ctx.unit(args.unit),
+        config=config,
+        scheduler=scheduler,
+        cache=cache,
+        mitigation=args.mitigation,
+    )
+
+
+def cmd_serve(args, out) -> int:
+    from .scheduler.policy import POLICIES
+
+    if args.policy not in POLICIES:
+        print(f"unknown policy {args.policy!r} "
+              f"(known: {', '.join(sorted(POLICIES))})", file=sys.stderr)
+        return 2
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    session = _scheduler_session(args)
+    outcome = session.run(
+        resume=args.resume, kill_after_events=args.kill_after
+    )
+    report = outcome.report
+    state = "killed" if outcome.killed else "drained"
+    print(f"service {state}: {report.events} result(s) ingested over "
+          f"{report.ticks} tick(s), policy={report.policy}", file=out)
+    if outcome.resumed:
+        print("  resumed from belief checkpoint", file=out)
+    print(f"  devices={report.devices} detected={report.detected} "
+          f"escapes={report.escapes}", file=out)
+    print(f"  belief checkpoint key: {outcome.checkpoint_key[:16]}…",
+          file=out)
+    if args.log:
+        outcome.log.write_jsonl(args.log)
+        print(f"  event log written to {args.log}", file=out)
+    return 0
+
+
+def cmd_schedule(args, out) -> int:
+    from .scheduler import verify_replay
+    from .scheduler.policy import POLICIES
+
+    if args.policy not in POLICIES:
+        print(f"unknown policy {args.policy!r} "
+              f"(known: {', '.join(sorted(POLICIES))})", file=sys.stderr)
+        return 2
+    session = _scheduler_session(args)
+    outcome = session.run()
+    for line in outcome.report.summary_lines():
+        print(line, file=out)
+    if args.log:
+        outcome.log.write_jsonl(args.log)
+        print(f"  event log written to {args.log}", file=out)
+    if args.report:
+        with open(args.report, "w") as fp:
+            fp.write(outcome.report.to_json())
+        print(f"  report written to {args.report}", file=out)
+    if args.verify_replay:
+        matches, _ = verify_replay(session, outcome)
+        print(f"  replay: {'byte-identical' if matches else 'DIVERGED'}",
+              file=out)
+        if not matches:
+            return 1
+    return 0
+
+
 def cmd_integrate(args, out) -> int:
     from .core.config import TestIntegrationConfig
     from .cpu.cpu import run_program
@@ -631,6 +789,8 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
         "verify": cmd_verify,
         "models": cmd_models,
         "campaign": cmd_campaign,
+        "serve": cmd_serve,
+        "schedule": cmd_schedule,
         "integrate": cmd_integrate,
     }[args.command]
     return handler(args, out)

@@ -185,6 +185,57 @@ class CampaignConfig:
 
 
 @dataclass
+class SchedulerConfig:
+    """Online fleet scheduler & detection service (``repro.scheduler``).
+
+    The scheduler turns the batch campaign into a service: simulated
+    device clients request test plans, execute them, and stream results
+    back; a dispatch policy decides which test each device runs next
+    from the fleet's aging belief state.
+
+    Attributes:
+        policy: Dispatch policy name — ``"sequential"`` (static
+            round-robin through the arm catalogue, the paper's
+            scheduling), ``"greedy"`` (cost-aware: highest posterior
+            detection probability per cycle), or ``"thompson"``
+            (Thompson-sampling bandit over the Beta posteriors).
+        policy_seed: Seed for the policy's named RNG streams (only the
+            Thompson policy draws randomness; draws are keyed by
+            ``(policy_seed, tick, device_index)`` so scheduling is
+            byte-deterministic).
+        batch_size: Maximum plan requests dispatched per batch (one
+            scheduling *tick*).
+        batch_window: Virtual deadline — event-loop passes the batcher
+            waits after the first pending request before closing a
+            partial batch.
+        ingest_queue: Bound of the result-ingestion queue.  A full
+            queue rejects ``submit_result`` with a retry-after;
+            rejections are operational telemetry only and never enter
+            the deterministic event log.
+        checkpoint_every: Ingested-event interval between belief
+            checkpoints.  Checkpoints land on tick boundaries so a
+            restarted service resumes from a consistent belief state.
+        cycle_budget: Per-device test-cycle budget.  A device stops
+            receiving dispatches once its spent cycles would exceed it
+            — the "equal per-device cycle budget" axis the policy
+            comparison holds constant.
+        fleet_blend: Weight of the fleet-level posterior mixed into a
+            device's posterior when policies score an arm.  0 scores
+            each device in isolation; 1 weighs fleet-wide evidence as
+            strongly as the device's own outcomes.
+    """
+
+    policy: str = "thompson"
+    policy_seed: int = 7
+    batch_size: int = 16
+    batch_window: int = 4
+    ingest_queue: int = 64
+    checkpoint_every: int = 25
+    cycle_budget: int = 25_000
+    fleet_blend: float = 0.5
+
+
+@dataclass
 class VegaConfig:
     """Top-level configuration: one section per workflow phase.
 
@@ -202,6 +253,7 @@ class VegaConfig:
         default_factory=TestIntegrationConfig
     )
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     cache_dir: Optional[str] = None
 
     def with_mitigation(self, enabled: bool = True) -> "VegaConfig":

@@ -324,6 +324,11 @@ def summarize_trace(records: List[dict]) -> str:
         if nested:
             lines.append(f"({len(nested)} nested span(s) in the trace)")
             lines.append("")
+    elif not spans:
+        # A header-only trace (meta line, nothing recorded) renders a
+        # clear verdict instead of an empty table.
+        lines.append("no spans recorded")
+        lines.append("")
     if totals:
         lines += ["## Counters", "", "| counter | total |", "|---|---:|"]
         for name in sorted(totals):

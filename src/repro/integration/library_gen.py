@@ -180,9 +180,9 @@ class AgingLibrary:
     name: str
     test_cases: List[TestCase] = field(default_factory=list)
     seed: int = 2024
-    #: suite_cycles() memo, keyed by (strategy, test-case fingerprint)
-    #: — see :meth:`suite_cycles`.  Never compared or serialized.
-    _cycles_cache: Dict[tuple, int] = field(
+    #: suite_cycles()/case_cycle_costs() memo, keyed by (strategy or
+    #: "case_costs", test-case fingerprint).  Never compared/serialized.
+    _cycles_cache: Dict[tuple, object] = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
     #: program() memo with the same key discipline; a campaign runs one
@@ -337,6 +337,34 @@ class AgingLibrary:
         self._cycles_cache[key] = cycles
         telemetry.add("integration.suite_cycles", cycles)
         return cycles
+
+    def case_cycle_costs(self) -> Dict[str, int]:
+        """Measured fault-free cycle cost of each test case, by name.
+
+        Like :meth:`~repro.integration.profile.ProfileGuidedIntegrator.
+        estimate_overhead`, the cost is measured rather than modelled:
+        each case is packaged as a single-test suite, assembled, and run
+        once on the golden model.  The online scheduler prices its
+        per-test dispatch arms with these numbers, so "detection value
+        per cycle" uses the exact cycles a device would spend.
+        Memoized with the same fingerprint discipline as
+        :meth:`suite_cycles`.
+        """
+        key = ("case_costs", self._fingerprint())
+        cached = self._cycles_cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        costs = {
+            case.name: AgingLibrary(
+                name=f"{self.name}__case", test_cases=[case]
+            ).suite_cycles()
+            for case in self.test_cases
+        }
+        self._cycles_cache = {
+            k: v for k, v in self._cycles_cache.items() if k[1] == key[1]
+        }
+        self._cycles_cache[key] = costs
+        return dict(costs)
 
     def raise_on_fault(self, result: DetectionResult) -> None:
         """Exception-style reporting, as the generated library offers."""

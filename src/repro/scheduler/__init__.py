@@ -1,0 +1,71 @@
+"""Online fleet scheduler: adaptive dispatch, streaming detection.
+
+The offline campaign (:mod:`repro.campaign`) answers "what would the
+fleet look like if every device ran every suite".  This package runs
+the same fleet as an *online service*: devices request their next test,
+stream verdicts back, and a per-device aging belief state steers what
+gets dispatched next — detection value per cycle instead of a fixed
+test list.
+
+Modules:
+
+* :mod:`~repro.scheduler.belief` — Beta-Bernoulli posteriors per
+  (device, failure-model class), fleet-level evidence sharing, priors
+  from the fleet's corner/onset distributions.
+* :mod:`~repro.scheduler.policy` — sequential / greedy /
+  Thompson-sampling dispatch policies; pure functions of a belief
+  snapshot.
+* :mod:`~repro.scheduler.service` — the asyncio service: batching,
+  bounded-queue backpressure, belief checkpoints, graceful drain, and
+  the deterministic TRACE_SCHEMA event log.
+* :mod:`~repro.scheduler.replay` — simulated device clients over the
+  campaign's :class:`~repro.campaign.engine.DeviceRunner`, session
+  driver, schedule reports, byte-exact replay verification.
+"""
+
+from .belief import ArmSpec, DeviceBelief, FleetBelief, fleet_prior
+from .policy import (
+    Dispatch,
+    PlanRequest,
+    POLICIES,
+    Policy,
+    Schedule,
+    make_policy,
+)
+from .replay import (
+    FleetAdapter,
+    ScheduleOutcome,
+    ScheduleReport,
+    ScheduleSession,
+    build_arms,
+    verify_replay,
+)
+from .service import (
+    DetectionService,
+    EventLog,
+    ResultEvent,
+    RetryAfter,
+)
+
+__all__ = [
+    "ArmSpec",
+    "DeviceBelief",
+    "DetectionService",
+    "Dispatch",
+    "EventLog",
+    "FleetAdapter",
+    "FleetBelief",
+    "PlanRequest",
+    "POLICIES",
+    "Policy",
+    "ResultEvent",
+    "RetryAfter",
+    "Schedule",
+    "ScheduleOutcome",
+    "ScheduleReport",
+    "ScheduleSession",
+    "build_arms",
+    "fleet_prior",
+    "make_policy",
+    "verify_replay",
+]

@@ -1,0 +1,194 @@
+"""Dispatch policies: belief snapshot in, deterministic schedule out.
+
+A policy answers one question per planning tick: *for each device that
+is asking for work, which arm should it run next?*  All policies are
+pure functions of ``(belief, arm catalogue, requests, tick, seed)`` —
+they never mutate the belief and never carry RNG state between ticks
+(Thompson draws come from named streams keyed by ``(seed, tick,
+device)``), which is what makes a live run and its replay produce the
+same schedules byte for byte.
+
+Three policies ship:
+
+* ``sequential`` — the static baseline: every device walks the arm
+  catalogue in fixed order, exactly like a screening flow that runs the
+  same test list on every part.  No belief is consulted.
+* ``greedy`` — cost-aware exploitation: dispatch the arm with the
+  highest posterior-mean detection probability per cycle.
+* ``thompson`` — the bandit: sample a detection probability from each
+  arm's blended Beta posterior and dispatch the best draw per cycle.
+  Sampling keeps exploring low-evidence arms while fleet-level evidence
+  steers new devices toward the arms that already caught faults
+  elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.rng import stream_rng
+from .belief import ArmSpec, FleetBelief
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One device asking the service for its next test."""
+
+    device_id: str
+    device_index: int
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """One planned (device, arm) assignment."""
+
+    device_id: str
+    device_index: int
+    arm: str
+    kind: str
+    class_label: str
+    cost_cycles: int
+
+    def as_record(self) -> dict:
+        return {
+            "device": self.device_id,
+            "arm": self.arm,
+            "kind": self.kind,
+            "class": self.class_label,
+            "cost_cycles": self.cost_cycles,
+        }
+
+
+@dataclass
+class Schedule:
+    """A tick's worth of dispatches, in deterministic device order."""
+
+    tick: int
+    policy: str
+    dispatches: List[Dispatch] = field(default_factory=list)
+    #: Devices that asked for work but have nothing left to run.
+    retired: List[str] = field(default_factory=list)
+
+
+class Policy:
+    """Base class; subclasses implement :meth:`choose`."""
+
+    name = "policy"
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+
+    def choose(
+        self,
+        belief: FleetBelief,
+        candidates: Sequence[ArmSpec],
+        request: PlanRequest,
+        tick: int,
+    ) -> ArmSpec:
+        raise NotImplementedError
+
+    def plan(
+        self,
+        belief: FleetBelief,
+        arms: Sequence[ArmSpec],
+        requests: Sequence[PlanRequest],
+        tick: int,
+    ) -> Schedule:
+        """Assign one arm to every requesting device (or retire it).
+
+        Requests are processed in device-index order so the schedule —
+        and everything downstream of it — is independent of arrival
+        order inside the tick.
+        """
+        schedule = Schedule(tick=tick, policy=self.name)
+        for request in sorted(requests, key=lambda r: r.device_index):
+            candidates = belief.candidates(request.device_id, arms)
+            if not candidates:
+                schedule.retired.append(request.device_id)
+                continue
+            arm = self.choose(belief, candidates, request, tick)
+            schedule.dispatches.append(
+                Dispatch(
+                    device_id=request.device_id,
+                    device_index=request.device_index,
+                    arm=arm.name,
+                    kind=arm.kind,
+                    class_label=arm.class_label,
+                    cost_cycles=arm.cost_cycles,
+                )
+            )
+        return schedule
+
+
+class SequentialPolicy(Policy):
+    """Static catalogue-order baseline (no belief consulted)."""
+
+    name = "sequential"
+
+    def choose(self, belief, candidates, request, tick):
+        return min(candidates, key=lambda arm: arm.index)
+
+
+class GreedyPolicy(Policy):
+    """Highest posterior-mean detection probability per cycle."""
+
+    name = "greedy"
+
+    def choose(self, belief, candidates, request, tick):
+        return min(
+            candidates,
+            key=lambda arm: (
+                -belief.mean(request.device_id, arm.class_label)
+                / arm.cost_cycles,
+                arm.index,
+            ),
+        )
+
+
+class ThompsonPolicy(Policy):
+    """Thompson sampling over the blended Beta posteriors.
+
+    The sampling stream is keyed by ``(policy seed, tick, device
+    index)`` and draws one betavariate per candidate in catalogue
+    order, so the choice is a pure function of the belief snapshot —
+    replay re-derives the identical stream instead of persisting RNG
+    state in checkpoints.
+    """
+
+    name = "thompson"
+
+    def choose(self, belief, candidates, request, tick):
+        rng = stream_rng(
+            "scheduler.thompson", self.seed, tick, request.device_index
+        )
+        best: Optional[ArmSpec] = None
+        best_value = float("-inf")
+        for arm in sorted(candidates, key=lambda a: a.index):
+            alpha, beta = belief.blended(request.device_id, arm.class_label)
+            draw = rng.betavariate(alpha, beta)
+            value = draw / arm.cost_cycles
+            if value > best_value:
+                best = arm
+                best_value = value
+        return best
+
+
+POLICIES: Dict[str, Callable[[int], Policy]] = {
+    "sequential": SequentialPolicy,
+    "round_robin": SequentialPolicy,  # alias: static-order baseline
+    "greedy": GreedyPolicy,
+    "thompson": ThompsonPolicy,
+}
+
+
+def make_policy(name: str, seed: int = 0) -> Policy:
+    """Instantiate a registered policy; raises ValueError on unknowns."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(POLICIES))
+        raise ValueError(
+            f"unknown policy {name!r} (known: {known})"
+        ) from None
+    return factory(seed)

@@ -196,6 +196,47 @@ class TestCampaignResume:
         fresh = make_engine(alu_netlist, vega_library).run()
         assert report.to_json() == fresh.to_json()
 
+    def test_resume_with_different_workers_is_identical(
+        self, alu_netlist, vega_library, tmp_path, monkeypatch
+    ):
+        """Checkpoints are parallelism-agnostic: a campaign killed at
+        one worker count and resumed at another yields a byte-identical
+        report (``workers`` never enters the campaign key)."""
+        from repro.campaign import engine as engine_mod
+
+        cache = ArtifactCache(tmp_path)
+        budget = CONFIG.shard_size  # die after the first shard
+        real_run_device = engine_mod.DeviceRunner.run_device
+
+        def dying_run_device(self, spec):
+            nonlocal budget
+            if budget <= 0:
+                raise RuntimeError("killed")
+            budget -= 1
+            return real_run_device(self, spec)
+
+        monkeypatch.setattr(
+            engine_mod.DeviceRunner, "run_device", dying_run_device
+        )
+        killed = make_engine(alu_netlist, vega_library, cache=cache)
+        with pytest.raises(RuntimeError):
+            killed.run()
+        monkeypatch.undo()
+
+        parallel_cfg = dataclasses.replace(CONFIG, workers=4)
+        survivor = make_engine(
+            alu_netlist, vega_library, config=parallel_cfg, cache=cache
+        )
+        report = survivor.run(resume=True)
+        assert survivor.resumed_shards == [0]
+        fresh = make_engine(alu_netlist, vega_library).run()
+        assert report.to_json() == fresh.to_json()
+
+        # Same campaign key at any worker count — that is what lets
+        # the checkpoints be shared in the first place.
+        fleet = sample_fleet(CONFIG, MODELS, 6.0)
+        assert killed.campaign_key(fleet) == survivor.campaign_key(fleet)
+
     def test_resume_without_cache_runs_everything(
         self, alu_netlist, vega_library
     ):

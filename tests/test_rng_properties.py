@@ -1,0 +1,98 @@
+"""Property-based tests for the named RNG streams (repro.core.rng).
+
+The whole determinism story — fleet sampling, baseline suites,
+co-simulation ``CMode.RANDOM`` draws, scheduler Thompson sampling —
+rests on three properties of :func:`stream_seed`/:func:`stream_rng`:
+
+* distinct stream names behave independently (no shared prefixes);
+* the same name always yields the identical sequence;
+* seeds and positioned generators survive pickling (fork workers and
+  belief checkpoints ship them across process boundaries).
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rng import stream_seed, stream_rng
+
+_NAMES = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+    min_size=1,
+    max_size=24,
+)
+_INDICES = st.lists(
+    st.integers(min_value=0, max_value=2**32), max_size=3
+)
+
+
+class TestStreamIndependence:
+    def test_hundred_names_no_identical_prefixes(self):
+        """100 distinct stream names → 100 distinct first-8 draws.
+
+        An affine seed formula (``seed = i * 97 + 13``) would collide
+        here the moment two names map to nearby constants; the hashed
+        derivation keeps every stream's opening draws unique.
+        """
+        prefixes = set()
+        for k in range(100):
+            rng = stream_rng(f"prop.stream.{k}")
+            prefixes.add(tuple(rng.random() for _ in range(8)))
+        assert len(prefixes) == 100
+
+    @given(
+        names=st.lists(_NAMES, min_size=2, max_size=8, unique=True),
+        indices=_INDICES,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_names_distinct_streams(self, names, indices):
+        seeds = {stream_seed(name, *indices) for name in names}
+        assert len(seeds) == len(names)
+        prefixes = {
+            tuple(stream_rng(name, *indices).random() for _ in range(8))
+            for name in names
+        }
+        assert len(prefixes) == len(names)
+
+    @given(name=_NAMES, index=st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=60, deadline=None)
+    def test_indices_select_distinct_members(self, name, index):
+        assert stream_seed(name, index) != stream_seed(name, index + 1)
+
+
+class TestStreamReproducibility:
+    @given(name=_NAMES, indices=_INDICES)
+    @settings(max_examples=60, deadline=None)
+    def test_same_name_identical_sequence(self, name, indices):
+        first = stream_rng(name, *indices)
+        second = stream_rng(name, *indices)
+        assert [first.random() for _ in range(16)] == [
+            second.random() for _ in range(16)
+        ]
+
+    @given(name=_NAMES, indices=_INDICES)
+    @settings(max_examples=60, deadline=None)
+    def test_seed_is_64_bit(self, name, indices):
+        assert 0 <= stream_seed(name, *indices) < 2**64
+
+
+class TestStreamPickling:
+    @given(name=_NAMES, indices=_INDICES)
+    @settings(max_examples=60, deadline=None)
+    def test_seed_survives_pickling(self, name, indices):
+        seed = stream_seed(name, *indices)
+        assert pickle.loads(pickle.dumps(seed)) == seed
+
+    @given(name=_NAMES, consumed=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_positioned_rng_survives_pickling(self, name, consumed):
+        """A generator pickled mid-stream resumes exactly in place —
+        what lets fork workers and checkpoints carry RNG state."""
+        rng = stream_rng(name)
+        for _ in range(consumed):
+            rng.random()
+        clone = pickle.loads(pickle.dumps(rng))
+        assert [rng.random() for _ in range(8)] == [
+            clone.random() for _ in range(8)
+        ]
