@@ -1,25 +1,37 @@
 """Shared fixtures for the evaluation benchmarks.
 
 Every benchmark regenerates one table or figure of the paper (§5) and
-prints/saves the rows.  The heavy pipeline state (netlists, SP profiles,
-aging STA, lifted test suites, failing netlists) is built once per
-session and shared through :func:`repro.core.experiments.default_context`.
+registers two artifacts through the session :class:`BenchRecorder`:
+
+* canonical JSON samples (metric, value, unit, metadata) — published
+  as ``BENCH_<name>.json`` at the repo root, the machine-readable
+  trajectory ``repro bench compare`` gates on;
+* the human-readable table — published unchanged as
+  ``benchmarks/results/<name>.txt``.
+
+The heavy pipeline state (netlists, SP profiles, aging STA, lifted
+test suites, failing netlists) is built once per session and shared
+through :func:`repro.core.experiments.default_context`.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
 
 Generated tables land in ``benchmarks/results/`` so EXPERIMENTS.md can
-reference them.
+reference them; both writes are atomic (temp file + rename, parent
+directories created) so an interrupted run never leaves partial
+artifacts.
 """
 
 import pathlib
 
 import pytest
 
+from repro.bench import BenchRecorder
 from repro.core.experiments import default_context
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 @pytest.fixture(scope="session")
@@ -28,11 +40,19 @@ def ctx():
 
 
 @pytest.fixture(scope="session")
-def save_table():
-    RESULTS_DIR.mkdir(exist_ok=True)
+def recorder():
+    rec = BenchRecorder(results_dir=RESULTS_DIR, json_dir=REPO_ROOT)
+    yield rec
+    # Publish any benchmark that registered samples but never reached
+    # its table call (e.g. a failed assertion after sampling).
+    rec.flush_all()
 
-    def _save(name: str, text: str) -> None:
-        (RESULTS_DIR / f"{name}.txt").write_text(text)
-        print(f"\n=== {name} ===\n{text}")
 
-    return _save
+@pytest.fixture(scope="session")
+def save_table(recorder):
+    """Legacy fixture: register only the human table.
+
+    Prefer ``recorder`` — every benchmark should emit at least one
+    canonical sample alongside its table.
+    """
+    return recorder.table

@@ -13,7 +13,7 @@ from repro.lifting.lifter import ErrorLifter, PairOutcome
 BUDGETS = (1, 5, 50, 1_000, 200_000)
 
 
-def test_ablation_conflict_budget_sweep(ctx, benchmark, save_table):
+def test_ablation_conflict_budget_sweep(ctx, benchmark, recorder):
     unit = ctx.fpu
     violations = unit.sta_result.report.representative_violations()[:8]
 
@@ -38,7 +38,16 @@ def test_ablation_conflict_budget_sweep(ctx, benchmark, save_table):
             f"{counts[PairOutcome.FORMAL_FAILURE]:2d} | "
             f"{counts[PairOutcome.CONVERSION_FAILURE]}"
         )
-    save_table("ablation_bmc_budget", "\n".join(rows))
+        recorder.sample(
+            "ablation_bmc_budget", "formal_failures",
+            counts[PairOutcome.FORMAL_FAILURE], "pairs",
+            conflict_budget=budget, unit="fpu",
+        )
+    recorder.sample(
+        "ablation_bmc_budget", "pairs_swept", len(violations), "pairs",
+        unit="fpu", bigger_is_better=True,
+    )
+    recorder.table("ablation_bmc_budget", "\n".join(rows))
 
     # Starving the solver produces FF outcomes; the production budget
     # resolves everything.

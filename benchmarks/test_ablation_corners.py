@@ -14,7 +14,7 @@ from repro.netlist.cells import VEGA28
 from repro.sta.aging_sta import AgingAwareSta
 
 
-def test_ablation_corner_pessimism(ctx, benchmark, save_table):
+def test_ablation_corner_pessimism(ctx, benchmark, recorder):
     alu = ctx.alu.netlist
     profile = ctx.alu.sp_profile
     timing_lib = AgingTimingLibrary.characterize(VEGA28)
@@ -33,14 +33,27 @@ def test_ablation_corner_pessimism(ctx, benchmark, save_table):
     typical = analyze(TYPICAL_CORNER)
 
     rows = ["corner              | setup paths | pairs | WNS(ps)"]
-    for label, result in (("worst (sign-off)", worst), ("typical", typical)):
+    for corner, label, result in (
+        ("worst", "worst (sign-off)", worst),
+        ("typical", "typical", typical),
+    ):
         report = result.report
         rows.append(
             f"{label:19s} | {len(report.setup_violations()):11d} | "
             f"{len(report.unique_endpoint_pairs()):5d} | "
             f"{report.wns_setup_ns*1000:7.1f}"
         )
-    save_table("ablation_corner_pessimism", "\n".join(rows))
+        recorder.sample(
+            "ablation_corner_pessimism", "setup_paths",
+            len(report.setup_violations()), "paths", corner=corner,
+            unit="alu",
+        )
+        recorder.sample(
+            "ablation_corner_pessimism", "endpoint_pairs",
+            len(report.unique_endpoint_pairs()), "pairs", corner=corner,
+            unit="alu",
+        )
+    recorder.table("ablation_corner_pessimism", "\n".join(rows))
 
     worst_pairs = set(worst.report.unique_endpoint_pairs())
     typical_pairs = set(typical.report.unique_endpoint_pairs())

@@ -30,7 +30,7 @@ def _models_for(unit):
         yield FailureModel(violation.start, violation.end, kind, CMode.ONE)
 
 
-def test_ablation_fuzz_vs_formal(ctx, benchmark, save_table):
+def test_ablation_fuzz_vs_formal(ctx, benchmark, recorder):
     unit = ctx.alu
     mapper = unit.mapper
     rows = [
@@ -73,7 +73,19 @@ def test_ablation_fuzz_vs_formal(ctx, benchmark, save_table):
         f"UR proofs formal-only: {formal_proofs} "
         f"(fuzzing inconclusive on {fuzz_unknowns})"
     )
-    save_table("ablation_fuzz_vs_formal", "\n".join(rows))
+    recorder.sample(
+        "ablation_fuzz_vs_formal", "agreements", agreements, "pairs",
+        unit="alu", bigger_is_better=True,
+    )
+    recorder.sample(
+        "ablation_fuzz_vs_formal", "pairs_compared", len(cases), "pairs",
+        unit="alu", bigger_is_better=True,
+    )
+    recorder.sample(
+        "ablation_fuzz_vs_formal", "formal_only_proofs", formal_proofs,
+        "pairs", unit="alu", bigger_is_better=True,
+    )
+    recorder.table("ablation_fuzz_vs_formal", "\n".join(rows))
 
     # Both methods agree wherever a verdict is possible.
     assert agreements == len(cases)

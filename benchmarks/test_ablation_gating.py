@@ -22,7 +22,7 @@ from repro.sta.aging_sta import AgingAwareSta
 DUTIES = (0.0, 0.5, 0.8, 0.9, 0.96, 0.99)
 
 
-def test_ablation_gating_duty_sweep(ctx, benchmark, save_table):
+def test_ablation_gating_duty_sweep(ctx, benchmark, recorder):
     fpu = ctx.fpu.netlist
     profile = ctx.fpu.sp_profile
     timing_lib = AgingTimingLibrary.characterize(VEGA28)
@@ -58,7 +58,15 @@ def test_ablation_gating_duty_sweep(ctx, benchmark, save_table):
             f"{report.wns_hold_ns*1000:12.2f} | "
             f"{len(report.hold_violations())}"
         )
-    save_table("ablation_gating_duty", "\n".join(rows))
+        recorder.sample(
+            "ablation_gating_duty", "hold_paths",
+            len(report.hold_violations()), "paths", duty=duty, unit="fpu",
+        )
+        recorder.sample(
+            "ablation_gating_duty", "phase_shift", shift * 1000, "ps",
+            duty=duty, unit="fpu",
+        )
+    recorder.table("ablation_gating_duty", "\n".join(rows))
 
     # Ungated: balanced tree, no skew, healthy hold margin.
     assert shift_by_duty[0.0] < 1e-6

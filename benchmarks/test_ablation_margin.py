@@ -15,7 +15,7 @@ from repro.sta.aging_sta import AgingAwareSta
 MARGINS = (0.01, 0.02, 0.03, 0.045, 0.06, 0.08)
 
 
-def test_ablation_clock_margin_sweep(ctx, benchmark, save_table):
+def test_ablation_clock_margin_sweep(ctx, benchmark, recorder):
     alu = ctx.alu.netlist
     profile = ctx.alu.sp_profile
     timing_lib = AgingTimingLibrary.characterize(VEGA28)
@@ -43,7 +43,11 @@ def test_ablation_clock_margin_sweep(ctx, benchmark, save_table):
             f"{report.wns_setup_ns*1000:7.1f} | "
             f"{not result.fresh_report.violations}"
         )
-    save_table("ablation_clock_margin", "\n".join(rows))
+        recorder.sample(
+            "ablation_clock_margin", "setup_paths", counts[margin],
+            "paths", margin=margin, unit="alu",
+        )
+    recorder.table("ablation_clock_margin", "\n".join(rows))
 
     # Monotone: more margin, fewer (or equal) violating paths.
     ordered = [counts[m] for m in MARGINS]

@@ -17,7 +17,7 @@ from repro.lifting.models import CMode
 CORPUS_SIZES = (4, 16, 64)
 
 
-def test_ablation_topdown_vs_bottom_up(ctx, benchmark, save_table):
+def test_ablation_topdown_vs_bottom_up(ctx, benchmark, recorder):
     unit = ctx.alu
     suite = unit.suite(False)
     suite_cycles = suite.suite_cycles()
@@ -55,7 +55,28 @@ def test_ablation_topdown_vs_bottom_up(ctx, benchmark, save_table):
             f"silifuzz-lite x{size:3d} | {size:5d} | {total_cycles:11d} | "
             + "/".join("hit" if h else "miss" for h in hits)
         )
-    save_table("ablation_topdown_vs_bottomup", "\n".join(rows))
+        recorder.sample(
+            "ablation_topdown_vs_bottomup", "corpus_cycles", total_cycles,
+            "cycles", approach="silifuzz", corpus_size=size,
+        )
+        recorder.sample(
+            "ablation_topdown_vs_bottomup", "detections", sum(hits),
+            "netlists", approach="silifuzz", corpus_size=size,
+            bigger_is_better=True,
+        )
+    recorder.sample(
+        "ablation_topdown_vs_bottomup", "corpus_cycles", suite_cycles,
+        "cycles", approach="vega",
+    )
+    recorder.sample(
+        "ablation_topdown_vs_bottomup", "detections",
+        sum(
+            unit.run_suite_against(suite, f.netlist).detected
+            for f in failing
+        ),
+        "netlists", approach="vega", bigger_is_better=True,
+    )
+    recorder.table("ablation_topdown_vs_bottomup", "\n".join(rows))
 
     # Vega detects everything at its (small) cycle budget.
     assert vega_detect

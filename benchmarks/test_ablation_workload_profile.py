@@ -17,7 +17,7 @@ from repro.sta.aging_sta import AgingAwareSta
 from repro.workloads import WORKLOADS, collect_operand_streams
 
 
-def test_ablation_workload_profiles(ctx, benchmark, save_table):
+def test_ablation_workload_profiles(ctx, benchmark, recorder):
     alu = ctx.alu.netlist
     timing_lib = AgingTimingLibrary.characterize(VEGA28)
     config = AgingAnalysisConfig(clock_margin=0.03, max_paths_per_endpoint=100)
@@ -46,6 +46,15 @@ def test_ablation_workload_profiles(ctx, benchmark, save_table):
             f"{len(report.unique_endpoint_pairs()):5d} | "
             f"{report.wns_setup_ns*1000:7.1f}"
         )
+        recorder.sample(
+            "ablation_workload_profile", "parked_nets", parked(profile),
+            "nets", profile=label, unit="alu",
+        )
+        recorder.sample(
+            "ablation_workload_profile", "setup_paths",
+            len(report.setup_violations()), "paths", profile=label,
+            unit="alu",
+        )
     minver_pairs = set(minver_result.report.unique_endpoint_pairs())
     all_pairs = set(all_result.report.unique_endpoint_pairs())
     rows.append(
@@ -53,7 +62,12 @@ def test_ablation_workload_profiles(ctx, benchmark, save_table):
         f"{len(minver_pairs - all_pairs)} minver-only, "
         f"{len(all_pairs - minver_pairs)} all-ten-only"
     )
-    save_table("ablation_workload_profile", "\n".join(rows))
+    recorder.sample(
+        "ablation_workload_profile", "shared_pairs",
+        len(minver_pairs & all_pairs), "pairs", unit="alu",
+        bigger_is_better=True,
+    )
+    recorder.table("ablation_workload_profile", "\n".join(rows))
 
     # Richer workloads exercise more nets: fewer parked at extremes.
     assert parked(all_profile) <= parked(minver_profile)

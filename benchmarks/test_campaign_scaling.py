@@ -125,7 +125,7 @@ def _engine_verdicts(report):
     ]
 
 
-def test_campaign_scaling(ctx, benchmark, save_table):
+def test_campaign_scaling(ctx, benchmark, recorder):
     config = _config(1)
     models = ctx.alu.failure_models()
     fleet = sample_fleet(config, models, config.base_onset_years)
@@ -149,16 +149,38 @@ def test_campaign_scaling(ctx, benchmark, save_table):
         + (" [smoke]" if SMOKE else ""),
         "path                              | wall (s) | devices/s | speedup",
     ]
-    for label, wall in (
-        ("naive per-device loop", naive_time),
-        ("campaign engine (serial)", serial_time),
-        ("campaign engine (workers=0)", par_time),
+    for path_name, label, wall in (
+        ("naive_loop", "naive per-device loop", naive_time),
+        ("engine_serial", "campaign engine (serial)", serial_time),
+        ("engine_parallel", "campaign engine (workers=0)", par_time),
     ):
         rows.append(
             f"{label:33s} | {wall:8.3f} | {DEVICES / wall:9.1f} "
             f"| {naive_time / wall:6.2f}x"
         )
-    save_table("campaign_scaling", "\n".join(rows))
+        recorder.sample(
+            "campaign_scaling", "wall_time", wall, "seconds",
+            path=path_name, devices=DEVICES, seed=config.seed, timing=True,
+        )
+        recorder.sample(
+            "campaign_scaling", "devices_per_second", DEVICES / wall,
+            "devices/s", path=path_name, devices=DEVICES, seed=config.seed,
+            timing=True, bigger_is_better=True,
+        )
+    recorder.sample(
+        "campaign_scaling", "speedup", naive_time / serial_time, "ratio",
+        path="engine_serial", devices=DEVICES, seed=config.seed,
+        timing=True, bigger_is_better=True,
+    )
+    recorder.sample(
+        "campaign_scaling", "devices_simulated", serial_report.devices,
+        "devices", seed=config.seed, bigger_is_better=True,
+    )
+    recorder.sample(
+        "campaign_scaling", "failure_models", len(models), "models",
+        seed=config.seed, bigger_is_better=True,
+    )
+    recorder.table("campaign_scaling", "\n".join(rows))
 
     assert naive_time / serial_time >= MIN_SPEEDUP, (
         f"campaign engine only {naive_time / serial_time:.2f}x faster "

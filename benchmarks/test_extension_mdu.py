@@ -12,7 +12,7 @@ Table 3/4/5/6-shaped results.
 from repro.lifting.models import CMode
 
 
-def test_extension_mdu_full_pipeline(ctx, benchmark, save_table):
+def test_extension_mdu_full_pipeline(ctx, benchmark, recorder):
     unit = ctx.unit("mdu")
 
     sta = unit.sta_result
@@ -40,7 +40,23 @@ def test_extension_mdu_full_pipeline(ctx, benchmark, save_table):
         f"detection: {detected}/{len(outcomes)} failing netlists "
         f"caught (C in 0/1/R)"
     )
-    save_table("extension_mdu_pipeline", "\n".join(rows))
+    recorder.sample(
+        "extension_mdu_pipeline", "setup_paths",
+        len(report.setup_violations()), "paths", unit="mdu",
+    )
+    recorder.sample(
+        "extension_mdu_pipeline", "test_cases", len(suite.test_cases),
+        "tests", unit="mdu", bigger_is_better=True,
+    )
+    recorder.sample(
+        "extension_mdu_pipeline", "suite_cycles", cycles, "cycles",
+        unit="mdu",
+    )
+    recorder.sample(
+        "extension_mdu_pipeline", "detected", detected, "netlists",
+        unit="mdu", bigger_is_better=True,
+    )
+    recorder.table("extension_mdu_pipeline", "\n".join(rows))
 
     # The unit signs off fresh and violates after 10 years, like the
     # ALU/FPU.

@@ -12,7 +12,7 @@ SP_LEVELS = (0.1, 0.25, 0.5, 0.75, 0.9)
 YEARS = (0.5, 1, 2, 4, 6, 8, 10)
 
 
-def test_fig4_xor_degradation_curves(benchmark, save_table):
+def test_fig4_xor_degradation_curves(benchmark, recorder):
     xor_cell = VEGA28["XOR2"]
 
     def compute():
@@ -29,7 +29,11 @@ def test_fig4_xor_degradation_curves(benchmark, save_table):
         lines.append(
             f"{sp:<6}" + "".join(f"{v:>8.2f}%" for v in curves[sp])
         )
-    save_table("fig4_xor_delay_degradation", "\n".join(lines))
+        recorder.sample(
+            "fig4_xor_delay_degradation", "delay_degradation_10y",
+            curves[sp][-1], "percent", sp=sp, cell="XOR2",
+        )
+    recorder.table("fig4_xor_delay_degradation", "\n".join(lines))
 
     # Shape assertions.
     for sp in SP_LEVELS:

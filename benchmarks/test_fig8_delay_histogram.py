@@ -10,7 +10,7 @@ from repro.sta.aging_sta import delay_increase_histogram
 BUCKETS = (0.0, 0.01, 0.02, 0.03, 0.04, 0.05, 0.055, 0.10)
 
 
-def test_fig8_delay_increase_histogram(ctx, benchmark, save_table):
+def test_fig8_delay_increase_histogram(ctx, benchmark, recorder):
     alu = ctx.alu
     fpu = ctx.fpu
     # Ensure STA state exists, then time the histogram extraction.
@@ -33,7 +33,19 @@ def test_fig8_delay_increase_histogram(ctx, benchmark, save_table):
     total_alu = sum(c for _, _, c in alu_hist)
     total_fpu = sum(c for _, _, c in fpu_hist)
     lines.append(f"total           {total_alu:9d}   {total_fpu:9d}")
-    save_table("fig8_delay_increase_histogram", "\n".join(lines))
+    for unit, hist, total in (
+        ("alu", alu_hist, total_alu), ("fpu", fpu_hist, total_fpu)
+    ):
+        recorder.sample(
+            "fig8_delay_increase_histogram", "aged_cells", total, "cells",
+            unit=unit, bigger_is_better=True,
+        )
+        recorder.sample(
+            "fig8_delay_increase_histogram", "worst_bucket_share",
+            100.0 * (hist[-1][2] + hist[-2][2]) / total, "percent",
+            unit=unit, bucket=">=5.0%",
+        )
+    recorder.table("fig8_delay_increase_histogram", "\n".join(lines))
 
     assert total_alu == len(alu_increase)
     assert total_fpu == len(fpu_increase)

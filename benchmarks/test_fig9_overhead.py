@@ -28,7 +28,7 @@ def _combined_library(ctx, mitigation: bool) -> AgingLibrary:
     return library
 
 
-def test_fig9_integration_overhead(ctx, benchmark, save_table):
+def test_fig9_integration_overhead(ctx, benchmark, recorder):
     config = TestIntegrationConfig(overhead_threshold=OVERHEAD_THRESHOLD)
     rows = ["workload    | baseline cycles | -N overhead | -M overhead | gated(-N)"]
     overheads = {"-N": [], "-M": []}
@@ -58,7 +58,19 @@ def test_fig9_integration_overhead(ctx, benchmark, save_table):
     mean_n = 100 * sum(overheads["-N"]) / len(overheads["-N"])
     mean_m = 100 * sum(overheads["-M"]) / len(overheads["-M"])
     rows.append(f"{'average':11s} | {'':15s} | {mean_n:10.2f}% | {mean_m:10.2f}% |")
-    save_table("fig9_integration_overhead", "\n".join(rows))
+    recorder.sample(
+        "fig9_integration_overhead", "mean_overhead", mean_n, "percent",
+        suites="-N", workloads=len(overheads["-N"]),
+    )
+    recorder.sample(
+        "fig9_integration_overhead", "mean_overhead", mean_m, "percent",
+        suites="-M", workloads=len(overheads["-M"]),
+    )
+    recorder.sample(
+        "fig9_integration_overhead", "workloads_integrated",
+        len(overheads["-N"]), "workloads", bigger_is_better=True,
+    )
+    recorder.table("fig9_integration_overhead", "\n".join(rows))
 
     # Headline claim: average overhead is small (paper: 0.8%).  The
     # integrator's own estimate is held to the 1% threshold; measured

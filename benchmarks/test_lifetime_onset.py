@@ -14,7 +14,7 @@ from repro.core.lifetime import SCHEDULES, LifetimeSimulator
 YEARS = (0.5, 1, 2, 3, 4, 5, 6, 8, 10, 12)
 
 
-def test_lifetime_onset_and_detection_latency(ctx, benchmark, save_table):
+def test_lifetime_onset_and_detection_latency(ctx, benchmark, recorder):
     unit = ctx.alu
     simulator = LifetimeSimulator(
         unit.netlist,
@@ -37,7 +37,19 @@ def test_lifetime_onset_and_detection_latency(ctx, benchmark, save_table):
     rows.append("detection latency after onset (suite detects on 1st run):")
     for name, seconds in report.detection_wall_clock(1).items():
         rows.append(f"  {name:20s} {seconds:14.1f} s")
-    save_table("lifetime_onset", "\n".join(rows))
+        recorder.sample(
+            "lifetime_onset", "detection_latency", seconds, "seconds",
+            schedule=name,
+        )
+    recorder.sample(
+        "lifetime_onset", "first_onset", report.first_onset_years,
+        "years", unit="alu", bigger_is_better=True,
+    )
+    recorder.sample(
+        "lifetime_onset", "violations_at_10y",
+        report.violations_by_year[10], "paths", unit="alu",
+    )
+    recorder.table("lifetime_onset", "\n".join(rows))
 
     # Degradation is front-loaded: WNS erodes monotonically with age...
     wns = [report.wns_by_year[y] for y in YEARS]

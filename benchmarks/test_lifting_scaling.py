@@ -71,7 +71,7 @@ def _fingerprint(report):
     ]
 
 
-def test_lifting_engine_scaling(ctx, benchmark, save_table):
+def test_lifting_engine_scaling(ctx, benchmark, recorder):
     unit = ctx.alu
     _lift(unit, True, 1)  # warm the pipeline + compile/levelize caches
 
@@ -102,7 +102,25 @@ def test_lifting_engine_scaling(ctx, benchmark, save_table):
             f"{label:20s} | {wall:8.3f} | {conflicts(report):9d} | "
             f"{serial_time / wall:6.2f}x"
         )
-    save_table("lifting_scaling", "\n".join(rows))
+        engine = label.replace(" ", "_").replace("(", "").replace(")", "")
+        recorder.sample(
+            "lifting_scaling", "wall_time", wall, "seconds",
+            engine=engine, depth=BMC_DEPTH, repeats=REPEATS, timing=True,
+        )
+        recorder.sample(
+            "lifting_scaling", "solver_conflicts", conflicts(report),
+            "conflicts", engine=engine, depth=BMC_DEPTH,
+        )
+    recorder.sample(
+        "lifting_scaling", "speedup", serial_time / par_time, "ratio",
+        engine="parallel+incremental", depth=BMC_DEPTH,
+        timing=True, bigger_is_better=True,
+    )
+    recorder.sample(
+        "lifting_scaling", "endpoint_pairs", len(serial_report.pairs),
+        "pairs", depth=BMC_DEPTH, bigger_is_better=True,
+    )
+    recorder.table("lifting_scaling", "\n".join(rows))
 
     # Acceptance: the new engine at least halves lifting wall time.
     assert serial_time / par_time >= 2.0, (

@@ -97,7 +97,7 @@ def _violation_set(result):
     )
 
 
-def test_aging_analysis_scaling(ctx, benchmark, save_table):
+def test_aging_analysis_scaling(ctx, benchmark, recorder):
     stream = ctx.stream("alu")[:OPS]
     netlist = ctx.alu.netlist
     _packed(ctx, stream[:64])  # warm compile/levelize/timing-lib caches
@@ -141,16 +141,33 @@ def test_aging_analysis_scaling(ctx, benchmark, save_table):
         + (" [smoke]" if SMOKE else ""),
         "engine                            | wall (s) | speedup",
     ]
-    for label, wall in (
-        ("seed serial (scalar + dict STA)", serial_time),
-        ("packed + vectorized STA", packed_time),
-        ("parallel + vectorized STA", par_time),
-        ("artifact cache hit (2nd run)", cached_time),
+    for engine, label, wall in (
+        ("seed_serial", "seed serial (scalar + dict STA)", serial_time),
+        ("packed_vectorized", "packed + vectorized STA", packed_time),
+        ("parallel_vectorized", "parallel + vectorized STA", par_time),
+        ("cache_hit", "artifact cache hit (2nd run)", cached_time),
     ):
         rows.append(
             f"{label:33s} | {wall:8.3f} | {serial_time / wall:7.2f}x"
         )
-    save_table("profiling_scaling", "\n".join(rows))
+        recorder.sample(
+            "profiling_scaling", "wall_time", wall, "seconds",
+            engine=engine, ops=OPS, timing=True,
+        )
+    recorder.sample(
+        "profiling_scaling", "speedup", serial_time / par_time, "ratio",
+        engine="parallel_vectorized", ops=OPS,
+        timing=True, bigger_is_better=True,
+    )
+    recorder.sample(
+        "profiling_scaling", "profiled_samples", serial_profile.samples,
+        "samples", ops=OPS, bigger_is_better=True,
+    )
+    recorder.sample(
+        "profiling_scaling", "aged_violations",
+        len(serial_result.report.violations), "paths", ops=OPS,
+    )
+    recorder.table("profiling_scaling", "\n".join(rows))
 
     assert serial_time / par_time >= MIN_SPEEDUP, (
         f"parallel+vectorized only {serial_time / par_time:.2f}x faster"

@@ -54,7 +54,7 @@ def _run_policy(ctx, policy):
     return session.run().report
 
 
-def test_adaptive_policy_beats_static_baseline(ctx, save_table):
+def test_adaptive_policy_beats_static_baseline(ctx, recorder):
     reports = {policy: _run_policy(ctx, policy) for policy in POLICIES}
 
     rows = [
@@ -72,7 +72,27 @@ def test_adaptive_policy_beats_static_baseline(ctx, save_table):
             f"| {r.events:6d} | {ttd:>17s} "
             f"| {r.penalized_ttd_cycles:.1f}"
         )
-    save_table("scheduler_policies", "\n".join(rows))
+        # Logical-time metrics: byte-deterministic for a given seed,
+        # so they hard-fail the regression gate on any drift.
+        recorder.sample(
+            "scheduler_policies", "penalized_ttd", r.penalized_ttd_cycles,
+            "cycles", policy=policy, devices=DEVICES, seed=2024,
+        )
+        recorder.sample(
+            "scheduler_policies", "detected", r.detected, "devices",
+            policy=policy, devices=DEVICES, seed=2024,
+            bigger_is_better=True,
+        )
+        recorder.sample(
+            "scheduler_policies", "escapes", r.escapes, "devices",
+            policy=policy, devices=DEVICES, seed=2024,
+        )
+        recorder.sample(
+            "scheduler_policies", "events", r.events, "events",
+            policy=policy, devices=DEVICES, seed=2024,
+            bigger_is_better=True,
+        )
+    recorder.table("scheduler_policies", "\n".join(rows))
 
     # Same fleet, same per-device budget: every policy must see the
     # same devices and the loud ALU faults stay detectable.

@@ -54,7 +54,7 @@ def _session(ctx, clients):
     )
 
 
-def test_scheduler_throughput(ctx, benchmark, save_table):
+def test_scheduler_throughput(ctx, benchmark, recorder):
     # Warm shared caches (suite assembly, instrumented netlists, arm
     # cost measurement) so the table reflects steady-state service
     # cost, not one-time pipeline setup.
@@ -82,11 +82,30 @@ def test_scheduler_throughput(ctx, benchmark, save_table):
             f"{clients:7d} | {report.events:6d} | {report.ticks:5d} "
             f"| {best:8.3f} | {events_per_s:8.1f} | {ms_per_tick:7.2f}"
         )
+        recorder.sample(
+            "scheduler_throughput", "ingest_rate", events_per_s,
+            "events/s", clients=clients, policy="thompson", seed=2024,
+            timing=True, bigger_is_better=True,
+        )
+        recorder.sample(
+            "scheduler_throughput", "tick_latency", ms_per_tick,
+            "ms/tick", clients=clients, policy="thompson", seed=2024,
+            timing=True,
+        )
+        recorder.sample(
+            "scheduler_throughput", "events_ingested", report.events,
+            "events", clients=clients, policy="thompson", seed=2024,
+            bigger_is_better=True,
+        )
+        recorder.sample(
+            "scheduler_throughput", "planning_ticks", report.ticks,
+            "ticks", clients=clients, policy="thompson", seed=2024,
+        )
         # Every run is complete and deterministic regardless of the
         # client count driving it.
         assert report.devices == clients
         assert report.escapes == 0
-    save_table("scheduler_throughput", "\n".join(rows))
+    recorder.table("scheduler_throughput", "\n".join(rows))
 
     for clients, events_per_s in measured.items():
         assert events_per_s >= MIN_EVENTS_PER_S, (

@@ -10,7 +10,7 @@ and the ALU has none.
 from repro.sta.timing import DelayModel, StaticTimingAnalyzer
 
 
-def test_table3_sta_violations(ctx, benchmark, save_table):
+def test_table3_sta_violations(ctx, benchmark, recorder):
     alu = ctx.alu.sta_result
     fpu = ctx.fpu.sta_result
 
@@ -29,7 +29,25 @@ def test_table3_sta_violations(ctx, benchmark, save_table):
             f"{len(hold):3d} ({len(report.unique_endpoint_pairs('hold')):2d}) | "
             f"{result.period_ns:.3f}ns"
         )
-    save_table("table3_sta_violations", "\n".join(lines))
+        unit = name.lower()
+        recorder.sample(
+            "table3_sta_violations", "setup_paths", len(setup), "paths",
+            unit=unit,
+        )
+        recorder.sample(
+            "table3_sta_violations", "hold_paths", len(hold), "paths",
+            unit=unit,
+        )
+        recorder.sample(
+            "table3_sta_violations", "wns_setup",
+            report.wns_setup_ns * 1000, "ps", unit=unit,
+            bigger_is_better=True,
+        )
+        recorder.sample(
+            "table3_sta_violations", "endpoint_pairs",
+            len(report.unique_endpoint_pairs("setup")), "pairs", unit=unit,
+        )
+    recorder.table("table3_sta_violations", "\n".join(lines))
 
     # Fresh designs meet timing (the sign-off premise).
     assert alu.fresh_report.violations == []

@@ -10,7 +10,7 @@ models are strictly harder to activate) while producing more tests.
 from repro.lifting.lifter import ErrorLifter
 
 
-def test_table4_construction_outcomes(ctx, benchmark, save_table):
+def test_table4_construction_outcomes(ctx, benchmark, recorder):
     rows = ["Unit | Mitigation | S% | UR% | FF% | FC% | pairs"]
     data = {}
     for unit_name in ("alu", "fpu"):
@@ -24,7 +24,19 @@ def test_table4_construction_outcomes(ctx, benchmark, save_table):
                 f"| {pct['S']:5.1f} | {pct['UR']:5.1f} | {pct['FF']:5.1f} "
                 f"| {pct['FC']:5.1f} | {len(report.pairs)}"
             )
-    save_table("table4_construction", "\n".join(rows))
+            for outcome in ("S", "UR", "FF", "FC"):
+                recorder.sample(
+                    "table4_construction", f"outcome_{outcome.lower()}_pct",
+                    pct[outcome], "percent", unit=unit_name,
+                    mitigation=mitigation,
+                    bigger_is_better=outcome in ("S", "UR"),
+                )
+            recorder.sample(
+                "table4_construction", "endpoint_pairs", len(report.pairs),
+                "pairs", unit=unit_name, mitigation=mitigation,
+                bigger_is_better=True,
+            )
+    recorder.table("table4_construction", "\n".join(rows))
 
     for unit_name in ("alu", "fpu"):
         without = data[(unit_name, False)]

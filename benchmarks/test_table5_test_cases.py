@@ -6,7 +6,7 @@ the mitigation roughly doubles both counts (2 -> 4 variants per pair).
 """
 
 
-def test_table5_suite_sizes_and_cycles(ctx, benchmark, save_table):
+def test_table5_suite_sizes_and_cycles(ctx, benchmark, recorder):
     rows = ["Unit | Mitigation | test cases | cycles"]
     data = {}
     for unit_name in ("alu", "fpu"):
@@ -19,7 +19,16 @@ def test_table5_suite_sizes_and_cycles(ctx, benchmark, save_table):
                 f"{unit_name.upper():4s} | {'w/ ' if mitigation else 'w/o'}       "
                 f"| {len(suite.test_cases):10d} | {cycles}"
             )
-    save_table("table5_test_cases", "\n".join(rows))
+            recorder.sample(
+                "table5_test_cases", "test_cases", len(suite.test_cases),
+                "tests", unit=unit_name, mitigation=mitigation,
+                bigger_is_better=True,
+            )
+            recorder.sample(
+                "table5_test_cases", "suite_cycles", cycles, "cycles",
+                unit=unit_name, mitigation=mitigation,
+            )
+    recorder.table("table5_test_cases", "\n".join(rows))
 
     alu_plain = data[("alu", False)]
     fpu_plain = data[("fpu", False)]

@@ -27,7 +27,7 @@ def _summarize(outcomes):
     )
 
 
-def test_table6_detection_quality(ctx, benchmark, save_table):
+def test_table6_detection_quality(ctx, benchmark, recorder):
     rows = ["Unit | FM | Mitigation | Det.% | B% | L% | S% | n"]
     summary = {}
     for unit_name in ("alu", "fpu"):
@@ -45,7 +45,19 @@ def test_table6_detection_quality(ctx, benchmark, save_table):
                     f"{stats['det']:5.1f} | {stats['b']:5.1f} | "
                     f"{stats['l']:5.1f} | {stats['s']:5.1f} | {stats['total']}"
                 )
-    save_table("table6_detection_quality", "\n".join(rows))
+                recorder.sample(
+                    "table6_detection_quality", "detection_rate",
+                    stats["det"], "percent", unit=unit_name,
+                    mitigation=mitigation, c_mode=mode.value,
+                    bigger_is_better=True,
+                )
+                recorder.sample(
+                    "table6_detection_quality", "failing_netlists",
+                    stats["total"], "netlists", unit=unit_name,
+                    mitigation=mitigation, c_mode=mode.value,
+                    bigger_is_better=True,
+                )
+    recorder.table("table6_detection_quality", "\n".join(rows))
 
     for unit_name in ("alu", "fpu"):
         for mitigation in (False, True):

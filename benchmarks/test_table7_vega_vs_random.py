@@ -16,7 +16,7 @@ from repro.lifting.models import CMode
 RANDOM_RUNS = 10
 
 
-def test_table7_vega_vs_random(ctx, benchmark, save_table):
+def test_table7_vega_vs_random(ctx, benchmark, recorder):
     rows = ["Unit | FM | Vega% | Random% | RndStall%"]
     results = {}
     for unit_name in ("alu", "fpu"):
@@ -30,7 +30,18 @@ def test_table7_vega_vs_random(ctx, benchmark, save_table):
                 f"{vega:5.1f} | {baseline.detected_pct:5.1f} | "
                 f"{baseline.stalled_pct:5.1f}"
             )
-    save_table("table7_vega_vs_random", "\n".join(rows))
+            recorder.sample(
+                "table7_vega_vs_random", "vega_detection_rate", vega,
+                "percent", unit=unit_name, c_mode=mode.value,
+                bigger_is_better=True,
+            )
+            recorder.sample(
+                "table7_vega_vs_random", "random_detection_rate",
+                baseline.detected_pct, "percent", unit=unit_name,
+                c_mode=mode.value, runs=RANDOM_RUNS,
+                bigger_is_better=True,
+            )
+    recorder.table("table7_vega_vs_random", "\n".join(rows))
 
     # Vega is (near-)perfect on the ALU and beats random there.
     for mode in (CMode.ZERO, CMode.ONE, CMode.RANDOM):

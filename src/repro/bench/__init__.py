@@ -1,0 +1,52 @@
+"""Declarative benchmark harness with a canonical JSON trajectory.
+
+Every benchmark under ``benchmarks/`` registers :class:`Sample` records
+(metric, value, unit, metadata) plus its human-readable table through a
+session :class:`BenchRecorder`; the recorder atomically writes both the
+unchanged ``benchmarks/results/<name>.txt`` table and a canonical
+``BENCH_<name>.json`` document at the repo root.  ``repro bench
+compare`` diffs two such documents with a slowdown threshold (the CI
+regression gate) and ``repro bench report`` renders a trajectory as
+markdown.
+
+The sample model follows PerfKitBenchmarker's: one flat record per
+measured quantity, with enough metadata (device count, workers, lanes,
+seed, git rev, timestamp) to match the *same* measurement across runs
+and to explain it afterwards.  Canonical serialization — sorted keys,
+compact separators, floats normalized to 9 significant digits — makes
+re-serializing a parsed document byte-identical, so documents can be
+committed, diffed, and content-addressed.
+"""
+
+from .compare import (
+    VOLATILE_KEYS,
+    ComparisonResult,
+    Finding,
+    compare_documents,
+    compare_files,
+)
+from .recorder import BenchRecorder, atomic_write_text
+from .report import render_report
+from .sample import (
+    BENCH_SCHEMA,
+    Sample,
+    canonical_dumps,
+    document_from_samples,
+    parse_document,
+)
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchRecorder",
+    "ComparisonResult",
+    "Finding",
+    "Sample",
+    "VOLATILE_KEYS",
+    "atomic_write_text",
+    "canonical_dumps",
+    "compare_documents",
+    "compare_files",
+    "document_from_samples",
+    "parse_document",
+    "render_report",
+]

@@ -1,0 +1,185 @@
+"""The regression gate: diff two canonical benchmark documents.
+
+Samples match across runs on ``(metric, unit-independent identity)``
+where identity is the metadata with volatile provenance keys removed.
+A matched pair regresses when the candidate is worse than the baseline
+by strictly more than the threshold percentage in the metric's bad
+direction (``bigger_is_better`` metadata, default: smaller is better).
+
+Findings carry a severity: ``fail`` exits the CLI nonzero, ``warn``
+prints but passes.  ``timing_warn_only`` downgrades regressions of
+samples tagged ``timing: true`` — wall-clock numbers on shared CI
+runners jitter far beyond any honest threshold, while correctness-
+derived counts (devices simulated, events ingested, coverage rows)
+must hold exactly-ish.  Structural problems (metric missing from the
+candidate, unit mismatch) always fail: a silently vanished metric is
+precisely the failure mode the gate exists to catch.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from .sample import Sample, document_samples, parse_document
+
+#: Provenance metadata excluded from cross-run sample identity.
+VOLATILE_KEYS = frozenset({"git_rev", "timestamp", "cpus", "hostname"})
+
+
+def identity(sample: Sample) -> Tuple:
+    """Cross-run identity of a sample: metric + stable metadata."""
+    stable = tuple(
+        sorted(
+            (k, _hashable(v))
+            for k, v in sample.metadata.items()
+            if k not in VOLATILE_KEYS
+        )
+    )
+    return (sample.metric, stable)
+
+
+def _hashable(value):
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _hashable(v)) for k, v in value.items()))
+    return value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome worth telling a human about."""
+
+    severity: str  # "fail" | "warn" | "info"
+    kind: str  # "regression" | "missing" | "unit-mismatch" | "new"
+    metric: str
+    detail: str
+
+    def format(self) -> str:
+        return f"[{self.severity.upper()}] {self.kind}: {self.metric}: {self.detail}"
+
+
+@dataclass
+class ComparisonResult:
+    benchmark: str
+    threshold_pct: float
+    findings: List[Finding]
+    compared: int
+
+    @property
+    def failed(self) -> bool:
+        return any(f.severity == "fail" for f in self.findings)
+
+    def summary(self) -> str:
+        fails = sum(f.severity == "fail" for f in self.findings)
+        warns = sum(f.severity == "warn" for f in self.findings)
+        verdict = "FAIL" if self.failed else "ok"
+        return (
+            f"bench compare [{self.benchmark}]: {self.compared} sample(s) "
+            f"matched, {fails} failure(s), {warns} warning(s), "
+            f"threshold {self.threshold_pct:g}% -> {verdict}"
+        )
+
+
+def _describe(sample: Sample) -> str:
+    keys = {
+        k: v for k, v in sorted(sample.metadata.items())
+        if k not in VOLATILE_KEYS and k not in ("timing", "bigger_is_better")
+    }
+    ctx = ", ".join(f"{k}={v}" for k, v in keys.items())
+    return f"({ctx})" if ctx else ""
+
+
+def compare_documents(
+    baseline: Mapping,
+    candidate: Mapping,
+    threshold_pct: float = 10.0,
+    timing_warn_only: bool = False,
+) -> ComparisonResult:
+    """Diff two parsed BENCH documents; see the module docstring."""
+    base_by_id: Dict[Tuple, Sample] = {}
+    for sample in document_samples(baseline):
+        base_by_id[identity(sample)] = sample
+    findings: List[Finding] = []
+    compared = 0
+    seen = set()
+    for sample in document_samples(candidate):
+        key = identity(sample)
+        seen.add(key)
+        base = base_by_id.get(key)
+        if base is None:
+            findings.append(Finding(
+                "info", "new", sample.metric,
+                f"{_describe(sample)} present only in candidate",
+            ))
+            continue
+        if base.unit != sample.unit:
+            findings.append(Finding(
+                "fail", "unit-mismatch", sample.metric,
+                f"{_describe(sample)} baseline unit {base.unit!r} vs "
+                f"candidate unit {sample.unit!r}",
+            ))
+            continue
+        compared += 1
+        finding = _judge(base, sample, threshold_pct, timing_warn_only)
+        if finding is not None:
+            findings.append(finding)
+    for key, base in sorted(base_by_id.items()):
+        if key not in seen:
+            findings.append(Finding(
+                "fail", "missing", base.metric,
+                f"{_describe(base)} present in baseline but absent from "
+                f"candidate",
+            ))
+    return ComparisonResult(
+        benchmark=str(candidate.get("benchmark", "?")),
+        threshold_pct=threshold_pct,
+        findings=findings,
+        compared=compared,
+    )
+
+
+def _judge(
+    base: Sample,
+    cand: Sample,
+    threshold_pct: float,
+    timing_warn_only: bool,
+) -> Finding | None:
+    bigger_is_better = bool(base.metadata.get("bigger_is_better", False))
+    delta = cand.value - base.value
+    worse = delta < 0 if bigger_is_better else delta > 0
+    if not worse:
+        return None
+    if base.value == 0:
+        pct = float("inf")
+    else:
+        # Same 9-significant-digit normalization as canonical sample
+        # values, so "exactly at threshold" isn't decided by the
+        # binary-float residue of the division (1.1/1.0 -> 10.000…009).
+        pct = float(f"{abs(delta) / abs(base.value) * 100.0:.9g}")
+    if pct <= threshold_pct:
+        return None
+    severity = "fail"
+    if timing_warn_only and base.metadata.get("timing"):
+        severity = "warn"
+    direction = "down" if bigger_is_better else "up"
+    return Finding(
+        severity, "regression", base.metric,
+        f"{_describe(base)} {base.value} -> {cand.value} {base.unit} "
+        f"({direction} {pct:.1f}%, threshold {threshold_pct:g}%)",
+    )
+
+
+def compare_files(
+    baseline_path: str | pathlib.Path,
+    candidate_path: str | pathlib.Path,
+    threshold_pct: float = 10.0,
+    timing_warn_only: bool = False,
+) -> ComparisonResult:
+    baseline = parse_document(pathlib.Path(baseline_path).read_text())
+    candidate = parse_document(pathlib.Path(candidate_path).read_text())
+    return compare_documents(
+        baseline, candidate, threshold_pct, timing_warn_only
+    )

@@ -1,0 +1,68 @@
+"""Render one or more BENCH_*.json documents as a markdown trajectory.
+
+``repro bench report BENCH_*.json`` turns the machine-readable sample
+documents back into something a human (or a PR description) can read:
+one section per benchmark, one row per sample, with the identity
+metadata inlined and provenance (git rev, smoke) surfaced once per
+document.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, List, Mapping
+
+from .compare import VOLATILE_KEYS
+from .sample import document_samples, parse_document
+
+_HIDDEN = VOLATILE_KEYS | {"smoke", "timing", "bigger_is_better"}
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def render_document(data: Mapping) -> str:
+    samples = document_samples(data)
+    provenance = {}
+    if samples:
+        meta = samples[0].metadata
+        for key in ("git_rev", "smoke"):
+            if key in meta:
+                provenance[key] = meta[key]
+    prov = ", ".join(f"{k}={v}" for k, v in provenance.items())
+    lines = [f"## {data.get('benchmark', '?')}" + (f"  ({prov})" if prov else "")]
+    lines.append("")
+    lines.append("| metric | value | unit | context |")
+    lines.append("|---|---|---|---|")
+    for sample in samples:
+        ctx = ", ".join(
+            f"{k}={_fmt_value(v)}"
+            for k, v in sorted(sample.metadata.items())
+            if k not in _HIDDEN
+        )
+        lines.append(
+            f"| {sample.metric} | {_fmt_value(sample.value)} "
+            f"| {sample.unit} | {ctx} |"
+        )
+    return "\n".join(lines)
+
+
+def render_report(paths: Iterable[str | pathlib.Path]) -> str:
+    """Markdown for every document, sorted by benchmark name."""
+    documents: List[Mapping] = []
+    for path in paths:
+        documents.append(parse_document(pathlib.Path(path).read_text()))
+    documents.sort(key=lambda d: str(d.get("benchmark", "")))
+    sections = ["# Benchmark trajectory", ""]
+    total = 0
+    for data in documents:
+        sections.append(render_document(data))
+        sections.append("")
+        total += len(data["samples"])
+    sections.append(
+        f"_{len(documents)} benchmark(s), {total} sample(s)._"
+    )
+    return "\n".join(sections)

@@ -1,0 +1,133 @@
+"""The canonical benchmark sample model.
+
+A :class:`Sample` is one measured quantity: ``metric`` names *what*
+was measured, ``value``/``unit`` say how much, and ``metadata``
+carries every identity-defining parameter of the measurement (device
+count, workers, lanes, seed) plus provenance (git rev, timestamp).
+
+Canonical JSON discipline:
+
+* keys sorted, separators ``(",", ":")``, ASCII only;
+* every float normalized to 9 significant digits **at construction**,
+  so the parsed value re-serializes to the identical byte string;
+* documents end with exactly one trailing newline on disk.
+
+``canonical_dumps(json.loads(text)) == text`` holds for any document
+this module wrote — the property the regression gate and the
+content-addressed trajectory rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Sequence
+
+#: Bumped on any incompatible change to the BENCH_*.json layout.
+BENCH_SCHEMA = 1
+
+
+def canon_value(value: Any) -> Any:
+    """Normalize a JSON value for canonical serialization.
+
+    Floats are rounded to 9 significant digits (and collapsed to int
+    when integral within that precision is *not* applied — ``2.0``
+    stays a float so the type round-trips).  Containers normalize
+    recursively; dict keys must already be strings.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        return float(f"{value:.9g}")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): canon_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canon_value(v) for v in value]
+    raise TypeError(f"non-canonical sample value: {value!r}")
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize ``obj`` as canonical JSON (no trailing newline)."""
+    return json.dumps(
+        canon_value(obj), sort_keys=True, separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One benchmark measurement.
+
+    ``metadata`` keys that describe provenance rather than identity
+    (``git_rev``, ``timestamp``, ``cpus``) are ignored when matching
+    samples across runs — see :data:`repro.bench.compare.VOLATILE_KEYS`.
+    Two conventional boolean keys steer the regression gate:
+
+    * ``bigger_is_better`` — direction of goodness (default: smaller,
+      i.e. the metric is a cost like wall time);
+    * ``timing`` — the value is wall-clock-derived and therefore noisy
+      on shared runners; ``compare --timing-warn-only`` downgrades its
+      regressions to warnings.
+    """
+
+    metric: str
+    value: float
+    unit: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", canon_value(self.value))
+        object.__setattr__(self, "metadata", canon_value(dict(self.metadata)))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "metadata": dict(self.metadata),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Sample":
+        return cls(
+            metric=data["metric"],
+            value=data["value"],
+            unit=data["unit"],
+            metadata=dict(data.get("metadata", {})),
+        )
+
+
+def document_from_samples(
+    benchmark: str, samples: Sequence[Sample]
+) -> Dict[str, Any]:
+    """The BENCH_<name>.json document for one benchmark's samples."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": benchmark,
+        "samples": [s.to_dict() for s in samples],
+    }
+
+
+def parse_document(text: str) -> Dict[str, Any]:
+    """Parse and validate one BENCH_*.json document."""
+    data = json.loads(text)
+    if not isinstance(data, dict) or "samples" not in data:
+        raise ValueError("not a BENCH document: missing 'samples'")
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {data.get('schema')!r} "
+            f"(this build reads {BENCH_SCHEMA})"
+        )
+    for entry in data["samples"]:
+        missing = {"metric", "value", "unit"} - set(entry)
+        if missing:
+            raise ValueError(f"sample missing {sorted(missing)}: {entry!r}")
+    return data
+
+
+def document_samples(data: Mapping[str, Any]) -> List[Sample]:
+    return [Sample.from_dict(entry) for entry in data["samples"]]

@@ -17,6 +17,7 @@ detect         run the generated suite against an injected failure
 integrate      phase 3: profile-guided splicing into a workload
 trace          summarize a JSONL telemetry trace
 campaign       fleet-scale fault-injection campaigns (run / report)
+bench          canonical benchmark trajectory (compare / report)
 =============  =====================================================
 """
 
@@ -230,6 +231,35 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a CampaignReport JSON file as markdown"
     )
     p.add_argument("file", help="report JSON written by campaign run --report")
+
+    p = sub.add_parser(
+        "bench",
+        help="canonical benchmark sample documents (BENCH_*.json): "
+             "regression gate and markdown trajectory",
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "compare",
+        help="diff candidate samples against a committed baseline; "
+             "exits nonzero on >threshold slowdowns, missing metrics, "
+             "or unit mismatches",
+    )
+    p.add_argument("baseline", help="baseline BENCH_<name>.json")
+    p.add_argument("candidate", help="candidate BENCH_<name>.json")
+    p.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="tolerated worsening per metric, percent (default: 10)",
+    )
+    p.add_argument(
+        "--timing-warn-only", action="store_true",
+        help="downgrade regressions of timing-tagged samples to "
+             "warnings (for noisy shared CI runners); count-derived "
+             "metrics still hard-fail",
+    )
+    p = bench_sub.add_parser(
+        "report", help="render BENCH_*.json documents as markdown"
+    )
+    p.add_argument("files", nargs="+", help="BENCH_<name>.json documents")
 
     p = sub.add_parser(
         "serve",
@@ -641,6 +671,33 @@ def cmd_campaign(args, out) -> int:
     return 0
 
 
+def cmd_bench(args, out) -> int:
+    from .bench import compare_files, render_report
+
+    if args.bench_command == "report":
+        try:
+            report = render_report(args.files)
+        except (OSError, ValueError) as exc:
+            print(f"invalid bench document: {exc}", file=sys.stderr)
+            return 2
+        print(report, file=out)
+        return 0
+    try:
+        result = compare_files(
+            args.baseline,
+            args.candidate,
+            threshold_pct=args.threshold,
+            timing_warn_only=args.timing_warn_only,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"invalid bench document: {exc}", file=sys.stderr)
+        return 2
+    for finding in result.findings:
+        print(f"  {finding.format()}", file=out)
+    print(result.summary(), file=out)
+    return 1 if result.failed else 0
+
+
 def _scheduler_session(args):
     """Build a ScheduleSession from shared serve/schedule arguments."""
     from .core.artifacts import ArtifactCache
@@ -789,6 +846,7 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
         "verify": cmd_verify,
         "models": cmd_models,
         "campaign": cmd_campaign,
+        "bench": cmd_bench,
         "serve": cmd_serve,
         "schedule": cmd_schedule,
         "integrate": cmd_integrate,

@@ -25,9 +25,11 @@ from __future__ import annotations
 import hashlib
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from . import telemetry
 from ..integration.library_gen import AgingLibrary
 from ..lifting.instrument import FailingNetlist
 
@@ -120,9 +122,14 @@ class ArtifactCache:
     def load_checkpoint(self, key: str) -> Optional[Any]:
         """A previously published phase result, or None.
 
-        Corrupt or truncated checkpoints (e.g. a crash mid-``replace``
-        is impossible, but a damaged disk entry is not) count as misses
-        rather than raising — resume then recomputes the phase.
+        Corrupt or truncated checkpoints (a crash mid-``replace`` is
+        impossible, but a damaged disk entry is not) count as misses
+        rather than raising — resume then recomputes the phase.  The
+        corruption is *loud*, though: the bad file is quarantined as
+        ``<key>.pkl.corrupt`` (so the evidence survives and the key
+        stops addressing it), a ``cache.checkpoint_corrupt`` telemetry
+        event fires, and a :class:`UserWarning` is emitted.  Silently
+        re-running a multi-minute phase with no signal was a bug.
         """
         import pickle
 
@@ -134,11 +141,44 @@ class ArtifactCache:
             return None
         try:
             value = pickle.loads(data)
-        except Exception:
+        except (
+            pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, KeyError, ValueError, TypeError,
+        ) as exc:
             self.misses += 1
+            self._quarantine_checkpoint(path, key, exc)
             return None
         self.hits += 1
         return value
+
+    def _quarantine_checkpoint(
+        self, path: pathlib.Path, key: str, exc: BaseException
+    ) -> Optional[pathlib.Path]:
+        """Move a corrupt checkpoint aside and report it."""
+        quarantine: Optional[pathlib.Path]
+        quarantine = path.with_name(path.name + ".corrupt")
+        try:
+            path.replace(quarantine)
+        except OSError:  # e.g. raced delete; nothing left to keep
+            quarantine = None
+        telemetry.add("cache.checkpoint_corrupt")
+        telemetry.event(
+            "cache.checkpoint_corrupt",
+            key=key,
+            error=f"{type(exc).__name__}: {exc}",
+            quarantined=str(quarantine) if quarantine else None,
+        )
+        warnings.warn(
+            f"corrupt checkpoint {path.name} ({type(exc).__name__}: {exc}); "
+            + (
+                f"quarantined as {quarantine.name}, "
+                if quarantine
+                else ""
+            )
+            + "the phase will be recomputed",
+            stacklevel=3,
+        )
+        return quarantine
 
     def store_checkpoint(self, key: str, value: Any) -> pathlib.Path:
         """Atomically publish a phase result for later resume.

@@ -64,7 +64,9 @@ class RetryAfter(Exception):
 
     ``retry_after`` is the suggested client back-off, in scheduler
     passes (logical time — there are no wall-clock timers anywhere in
-    the service).
+    the service).  The service scales it with queue occupancy and the
+    batch deadline, so a saturated fleet's clients fan out across
+    ticks instead of retrying in lockstep every pass.
     """
 
     def __init__(self, retry_after: int = 1):
@@ -198,12 +200,31 @@ class DetectionService:
             return  # dead service: drop the result, client will retire
         if len(self._buffer) >= max(1, self.config.ingest_queue):
             telemetry.add("scheduler.ingest_rejected")
-            raise RetryAfter(retry_after=1)
+            raise RetryAfter(retry_after=self._retry_hint())
         self._buffer.append(result)
         telemetry.add("scheduler.ingest_accepted")
         # One pass of cooperative latency so the scheduler loop can
         # drain the buffer before the same client submits again.
         await asyncio.sleep(0)
+
+    def _retry_hint(self) -> int:
+        """Back-off hint: scheduler passes until the next drain is
+        expected to free ingest capacity.
+
+        The backlog drains in batch-sized planning rounds, so a deeper
+        buffer means proportionally more passes before a retried
+        submit can land; while a partial batch is still inside its
+        grace window the next drain is additionally deferred by the
+        window's remaining passes.  Monotone non-decreasing in queue
+        occupancy, so a saturated fleet's clients spread their retries
+        instead of hammering every tick.
+        """
+        batch = max(1, self.config.batch_size)
+        backlog_passes = -(-len(self._buffer) // batch)  # ceil
+        deadline = 0
+        if not self._outstanding:
+            deadline = max(0, self.config.batch_window - self._window)
+        return max(1, backlog_passes + deadline)
 
     def request_shutdown(self) -> None:
         """Begin a graceful drain: no new batches, finish in-flight."""

@@ -1,0 +1,320 @@
+"""The benchmark harness: canonical samples, recorder, regression gate.
+
+Covers the `repro.bench` package end to end: canonical-JSON round
+trips (byte-identical re-serialization, stable key order, fixed float
+formatting), `repro bench compare` threshold edge cases (missing
+metric, unit mismatch, exactly-at-threshold), recorder atomicity on
+interrupted writes, and the CLI verbs the CI gate calls.
+"""
+
+import io
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.bench import (
+    BenchRecorder,
+    Sample,
+    atomic_write_text,
+    canonical_dumps,
+    compare_documents,
+    compare_files,
+    document_from_samples,
+    parse_document,
+    render_report,
+)
+from repro.cli import main
+
+
+def _doc(*samples):
+    return document_from_samples("t", list(samples))
+
+
+# ---------------------------------------------------------------------
+# Canonical JSON
+# ---------------------------------------------------------------------
+class TestCanonicalJson:
+    def test_reserializing_parsed_json_is_byte_identical(self):
+        doc = _doc(
+            Sample("wall_time", 1.234567891234, "seconds",
+                   {"workers": 4, "seed": 2024, "ratio": 0.1}),
+            Sample("devices", 32, "devices", {"z": True, "a": None}),
+        )
+        text = canonical_dumps(doc)
+        assert canonical_dumps(json.loads(text)) == text
+        # ...and again, through a Sample round trip.
+        parsed = parse_document(text)
+        rebuilt = document_from_samples(
+            parsed["benchmark"],
+            [Sample.from_dict(s) for s in parsed["samples"]],
+        )
+        assert canonical_dumps(rebuilt) == text
+
+    def test_keys_are_sorted(self):
+        text = canonical_dumps({"b": 1, "a": {"z": 1, "y": 2}})
+        assert text == '{"a":{"y":2,"z":1},"b":1}'
+
+    def test_floats_normalize_to_nine_significant_digits(self):
+        sample = Sample("m", 0.12345678912345, "s")
+        assert sample.value == 0.123456789
+        # Integers and bools survive untouched (type-preserving).
+        assert Sample("m", 7, "s").value == 7
+        assert canonical_dumps({"v": 2.0}) == '{"v":2.0}'
+        assert canonical_dumps({"v": 2}) == '{"v":2}'
+
+    def test_metadata_normalizes_recursively(self):
+        sample = Sample("m", 1.0, "s", {"nested": [0.99999999999, 3]})
+        assert sample.metadata["nested"][0] == 1.0
+
+    def test_non_json_value_rejected(self):
+        with pytest.raises(TypeError, match="non-canonical"):
+            canonical_dumps({"v": object()})
+
+    def test_parse_rejects_wrong_schema_and_shape(self):
+        with pytest.raises(ValueError, match="schema"):
+            parse_document('{"schema":99,"benchmark":"x","samples":[]}')
+        with pytest.raises(ValueError, match="samples"):
+            parse_document('{"schema":1}')
+        with pytest.raises(ValueError, match="missing"):
+            parse_document(
+                '{"schema":1,"benchmark":"x","samples":[{"metric":"m"}]}'
+            )
+
+
+# ---------------------------------------------------------------------
+# The regression gate
+# ---------------------------------------------------------------------
+class TestCompare:
+    def test_identical_documents_pass(self):
+        doc = _doc(Sample("wall_time", 1.0, "seconds", {"workers": 2}))
+        result = compare_documents(doc, doc, threshold_pct=10.0)
+        assert not result.failed
+        assert result.compared == 1
+        assert result.findings == []
+
+    def test_slowdown_over_threshold_fails(self):
+        base = _doc(Sample("wall_time", 1.0, "seconds"))
+        cand = _doc(Sample("wall_time", 1.2, "seconds"))
+        result = compare_documents(base, cand, threshold_pct=10.0)
+        assert result.failed
+        [finding] = result.findings
+        assert finding.kind == "regression"
+
+    def test_exactly_at_threshold_passes(self):
+        base = _doc(Sample("wall_time", 1.0, "seconds"))
+        cand = _doc(Sample("wall_time", 1.1, "seconds"))
+        result = compare_documents(base, cand, threshold_pct=10.0)
+        assert not result.failed
+        # Strictly over the threshold regresses.
+        worse = _doc(Sample("wall_time", 1.1000001, "seconds"))
+        assert compare_documents(base, worse, threshold_pct=10.0).failed
+
+    def test_bigger_is_better_direction(self):
+        meta = {"bigger_is_better": True}
+        base = _doc(Sample("throughput", 100.0, "events/s", meta))
+        slower = _doc(Sample("throughput", 80.0, "events/s", meta))
+        faster = _doc(Sample("throughput", 200.0, "events/s", meta))
+        assert compare_documents(base, slower, 10.0).failed
+        assert not compare_documents(base, faster, 10.0).failed
+
+    def test_missing_metric_fails(self):
+        base = _doc(
+            Sample("wall_time", 1.0, "seconds"),
+            Sample("devices", 32, "devices"),
+        )
+        cand = _doc(Sample("wall_time", 1.0, "seconds"))
+        result = compare_documents(base, cand, threshold_pct=10.0)
+        assert result.failed
+        [finding] = result.findings
+        assert finding.kind == "missing"
+        assert finding.metric == "devices"
+
+    def test_unit_mismatch_fails(self):
+        base = _doc(Sample("wall_time", 1.0, "seconds"))
+        cand = _doc(Sample("wall_time", 1000.0, "ms"))
+        result = compare_documents(base, cand, threshold_pct=1e9)
+        assert result.failed
+        [finding] = result.findings
+        assert finding.kind == "unit-mismatch"
+
+    def test_new_candidate_metric_is_informational(self):
+        base = _doc(Sample("wall_time", 1.0, "seconds"))
+        cand = _doc(
+            Sample("wall_time", 1.0, "seconds"),
+            Sample("shiny", 1.0, "units"),
+        )
+        result = compare_documents(base, cand, threshold_pct=10.0)
+        assert not result.failed
+        [finding] = result.findings
+        assert finding.kind == "new" and finding.severity == "info"
+
+    def test_timing_warn_only_downgrades_timing_regressions(self):
+        base = _doc(
+            Sample("wall_time", 1.0, "seconds", {"timing": True}),
+            Sample("devices", 32, "devices"),
+        )
+        slow = _doc(
+            Sample("wall_time", 5.0, "seconds", {"timing": True}),
+            Sample("devices", 32, "devices"),
+        )
+        gated = compare_documents(base, slow, 10.0, timing_warn_only=True)
+        assert not gated.failed
+        assert any(f.severity == "warn" for f in gated.findings)
+        # Count regressions still hard-fail under the same flag.
+        fewer = _doc(
+            Sample("wall_time", 1.0, "seconds", {"timing": True}),
+            Sample("devices", 2, "devices"),
+        )
+        assert compare_documents(
+            base, fewer, 10.0, timing_warn_only=True
+        ).failed is False  # devices has no direction: lower is "better"
+        more = _doc(
+            Sample("wall_time", 1.0, "seconds", {"timing": True}),
+            Sample("devices", 64, "devices"),
+        )
+        assert compare_documents(
+            base, more, 10.0, timing_warn_only=True
+        ).failed
+
+    def test_volatile_metadata_ignored_for_identity(self):
+        base = _doc(Sample(
+            "wall_time", 1.0, "seconds",
+            {"workers": 2, "git_rev": "aaa", "timestamp": 1, "cpus": 64},
+        ))
+        cand = _doc(Sample(
+            "wall_time", 1.0, "seconds",
+            {"workers": 2, "git_rev": "bbb", "timestamp": 2, "cpus": 2},
+        ))
+        result = compare_documents(base, cand, threshold_pct=10.0)
+        assert result.compared == 1 and not result.failed
+        # Identity metadata still splits samples.
+        other = _doc(Sample("wall_time", 1.0, "seconds", {"workers": 4}))
+        assert compare_documents(base, other, threshold_pct=10.0).failed
+
+    def test_zero_baseline_regression(self):
+        base = _doc(Sample("errors", 0, "errors"))
+        cand = _doc(Sample("errors", 1, "errors"))
+        assert compare_documents(base, cand, threshold_pct=50.0).failed
+
+
+# ---------------------------------------------------------------------
+# Recorder + atomic writes
+# ---------------------------------------------------------------------
+class TestRecorder:
+    def _recorder(self, tmp_path):
+        return BenchRecorder(
+            results_dir=tmp_path / "deep" / "results",
+            json_dir=tmp_path,
+            common_metadata={"git_rev": "test", "timestamp": 0,
+                             "cpus": 1, "smoke": True},
+        )
+
+    def test_table_publishes_both_artifacts(self, tmp_path, capsys):
+        rec = self._recorder(tmp_path)
+        rec.sample("demo", "wall_time", 1.5, "seconds", workers=2)
+        rec.table("demo", "col | val\nx   | 1")
+        table = (tmp_path / "deep" / "results" / "demo.txt").read_text()
+        assert table == "col | val\nx   | 1\n"  # newline-terminated
+        text = (tmp_path / "BENCH_demo.json").read_text()
+        assert text.endswith("\n")
+        doc = parse_document(text)
+        assert doc["benchmark"] == "demo"
+        [sample] = doc["samples"]
+        assert sample["metadata"]["workers"] == 2
+        assert sample["metadata"]["git_rev"] == "test"
+        assert canonical_dumps(json.loads(text)) == text.rstrip("\n")
+
+    def test_parent_directories_created(self, tmp_path):
+        # Regression: mkdir(exist_ok=True) without parents failed on
+        # fresh checkouts missing the results tree.
+        rec = self._recorder(tmp_path)
+        assert not (tmp_path / "deep").exists()
+        rec.sample("demo", "m", 1, "u")
+        rec.table("demo", "t")
+        assert (tmp_path / "deep" / "results" / "demo.txt").exists()
+
+    def test_interrupted_write_leaves_no_partial_file(self, tmp_path,
+                                                      monkeypatch):
+        target = tmp_path / "sub" / "out.txt"
+        atomic_write_text(target, "original")
+
+        def boom(src, dst):
+            raise OSError("simulated crash mid-publish")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write_text(target, "replacement")
+        monkeypatch.undo()
+        # The published file is intact and no temp litter remains.
+        assert target.read_text() == "original\n"
+        assert [p.name for p in target.parent.iterdir()] == ["out.txt"]
+
+    def test_flush_all_publishes_tableless_benchmarks(self, tmp_path):
+        rec = self._recorder(tmp_path)
+        rec.sample("orphan", "m", 1, "u")
+        rec.table("done", "t")
+        paths = rec.flush_all()
+        assert [p.name for p in paths] == ["BENCH_orphan.json"]
+        assert (tmp_path / "BENCH_orphan.json").exists()
+
+
+# ---------------------------------------------------------------------
+# CLI verbs (the CI gate's entry points)
+# ---------------------------------------------------------------------
+class TestBenchCli:
+    def _write(self, path: pathlib.Path, *samples):
+        atomic_write_text(path, canonical_dumps(_doc(*samples)))
+
+    def test_compare_zero_on_identical_nonzero_on_slowdown(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        self._write(base, Sample("wall_time", 1.0, "seconds"))
+        self._write(cand, Sample("wall_time", 1.0, "seconds"))
+        out = io.StringIO()
+        assert main(
+            ["bench", "compare", str(base), str(cand)], out=out
+        ) == 0
+        self._write(cand, Sample("wall_time", 2.0, "seconds"))
+        out = io.StringIO()
+        assert main(
+            ["bench", "compare", str(base), str(cand), "--threshold", "25"],
+            out=out,
+        ) == 1
+        assert "regression" in out.getvalue()
+
+    def test_compare_timing_warn_only_flag(self, tmp_path):
+        base = tmp_path / "base.json"
+        cand = tmp_path / "cand.json"
+        self._write(base, Sample("wall_time", 1.0, "seconds",
+                                 {"timing": True}))
+        self._write(cand, Sample("wall_time", 9.0, "seconds",
+                                 {"timing": True}))
+        out = io.StringIO()
+        assert main(
+            ["bench", "compare", str(base), str(cand),
+             "--timing-warn-only"], out=out,
+        ) == 0
+        assert "WARN" in out.getvalue()
+
+    def test_compare_invalid_document_exits_2(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        good = tmp_path / "good.json"
+        self._write(good, Sample("m", 1, "u"))
+        assert main(
+            ["bench", "compare", str(bad), str(good)], out=io.StringIO()
+        ) == 2
+
+    def test_report_renders_markdown(self, tmp_path):
+        doc = tmp_path / "BENCH_demo.json"
+        self._write(doc, Sample("wall_time", 1.5, "seconds",
+                                {"workers": 2, "git_rev": "abc"}))
+        out = io.StringIO()
+        assert main(["bench", "report", str(doc)], out=out) == 0
+        text = out.getvalue()
+        assert "# Benchmark trajectory" in text
+        assert "wall_time" in text and "workers=2" in text
+        # The library entry point agrees with the CLI.
+        assert render_report([doc]) in text

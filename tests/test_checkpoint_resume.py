@@ -50,6 +50,17 @@ def baseline(alu, alu_stream, tmp_path_factory):
     return report, workflow
 
 
+def _raise_on_unpickle():
+    raise RuntimeError("bug in checkpointed object")
+
+
+class _ExplodesOnLoad:
+    """Pickles fine; reconstruction raises a non-corruption error."""
+
+    def __reduce__(self):
+        return (_raise_on_unpickle, ())
+
+
 class TestCheckpointStore:
     def test_pickle_roundtrip(self, tmp_path):
         cache = ArtifactCache(tmp_path)
@@ -65,8 +76,48 @@ class TestCheckpointStore:
         cache = ArtifactCache(tmp_path)
         path = cache.store_checkpoint("ef" * 32, [1, 2, 3])
         path.write_bytes(b"\x80\x04 truncated garbage")
-        assert cache.load_checkpoint("ef" * 32) is None
+        with pytest.warns(UserWarning, match="[Cc]orrupt"):
+            assert cache.load_checkpoint("ef" * 32) is None
         assert cache.misses == 1
+
+    def test_corrupt_checkpoint_is_quarantined_and_reported(self, tmp_path):
+        # Regression: a truncated checkpoint used to vanish into a
+        # silent miss — no warning, no telemetry, and the bad file
+        # left in place to be "loaded" again next run.
+        cache = ArtifactCache(tmp_path)
+        path = cache.store_checkpoint("12" * 32, {"phase": 1})
+        path.write_bytes(path.read_bytes()[:7])  # truncate mid-stream
+
+        collector = telemetry.Telemetry()
+        with telemetry.use(collector):
+            with pytest.warns(UserWarning, match="quarantined"):
+                assert cache.load_checkpoint("12" * 32) is None
+
+        # The poisoned file no longer answers to its cache key...
+        assert not path.exists()
+        quarantined = path.with_name(path.name + ".corrupt")
+        assert quarantined.exists()
+        # ...so the next lookup is a clean miss, not another warning.
+        assert cache.load_checkpoint("12" * 32) is None
+        assert cache.misses == 2
+
+        assert collector.counters.get("cache.checkpoint_corrupt") == 1
+        events = [
+            r for r in collector.records
+            if r["type"] == "event" and r["name"] == "cache.checkpoint_corrupt"
+        ]
+        assert len(events) == 1
+        assert events[0]["attrs"]["quarantined"] == str(quarantined)
+        assert "Error" in events[0]["attrs"]["error"]
+
+    def test_unrelated_errors_still_propagate(self, tmp_path):
+        # The except is narrow: a bug *inside* a checkpointed object's
+        # reconstruction is not file corruption and must not be
+        # silently converted into a cache miss.
+        cache = ArtifactCache(tmp_path)
+        cache.store_checkpoint("34" * 32, _ExplodesOnLoad())
+        with pytest.raises(RuntimeError, match="checkpointed object"):
+            cache.load_checkpoint("34" * 32)
 
 
 class TestCheckpointKeys:

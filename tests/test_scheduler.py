@@ -290,6 +290,74 @@ class TestServiceMechanics:
 
         asyncio.run(drive())
 
+    def test_retry_after_scales_with_queue_occupancy(self):
+        # Regression: the hint used to be a constant 1, so every
+        # client of a saturated service retried on the very next pass.
+        service, fleet = self._service(queue=12)
+
+        def event(k):
+            dev = fleet[k % len(fleet)]
+            return ResultEvent(
+                device_id=dev.device_id,
+                device_index=dev.index,
+                arm="a",
+                class_label=_classes()[0],
+                detected=False,
+                stalled=False,
+                cycles=10,
+            )
+
+        hints = []
+
+        async def drive():
+            for k in range(12):
+                await service.submit_result(event(k))
+                hints.append(service._retry_hint())
+            with pytest.raises(RetryAfter) as exc:
+                await service.submit_result(event(12))
+            assert exc.value.retry_after == hints[-1]
+
+        asyncio.run(drive())
+        # Monotone non-decreasing in occupancy, strictly larger for a
+        # full queue than a near-empty one.
+        assert hints == sorted(hints)
+        assert hints[-1] > hints[0]
+
+    def test_fuller_service_advertises_longer_backoff(self):
+        def saturate(queue):
+            service, fleet = self._service(queue=queue)
+
+            async def drive():
+                for k in range(queue):
+                    await service.submit_result(
+                        ResultEvent(
+                            device_id=fleet[k % len(fleet)].device_id,
+                            device_index=fleet[k % len(fleet)].index,
+                            arm="a",
+                            class_label=_classes()[0],
+                            detected=False,
+                            stalled=False,
+                            cycles=10,
+                        )
+                    )
+                with pytest.raises(RetryAfter) as exc:
+                    await service.submit_result(
+                        ResultEvent(
+                            device_id=fleet[0].device_id,
+                            device_index=fleet[0].index,
+                            arm="a",
+                            class_label=_classes()[0],
+                            detected=False,
+                            stalled=False,
+                            cycles=10,
+                        )
+                    )
+                return exc.value.retry_after
+
+            return asyncio.run(drive())
+
+        assert saturate(12) > saturate(4) >= 1
+
     def test_checkpoint_state_roundtrips_belief(self):
         service, fleet = self._service()
         arm = service.arms[0]
