@@ -13,11 +13,15 @@ population study:
   faulty device, sharded across ``fork`` workers with per-shard
   resume checkpoints;
 * :mod:`~repro.campaign.report` aggregates fleet metrics into a
-  :class:`~repro.campaign.report.CampaignReport` artifact.
+  :class:`~repro.campaign.report.CampaignReport` artifact;
+* :mod:`~repro.campaign.packed` resolves many failure models per
+  gate-sim pass (one shadow-mux bit-plane each) — the fault-parallel
+  prefilter the engine runs before shard dispatch.
 """
 
 from .engine import CampaignEngine, DeviceResult, SuiteOutcome
 from .fleet import DeviceSpec, fleet_digest, sample_fleet
+from .packed import PackedPrefilter, ReplayBackend, ReplayMismatch
 from .report import CampaignReport
 
 __all__ = [
@@ -25,6 +29,9 @@ __all__ = [
     "CampaignReport",
     "DeviceResult",
     "DeviceSpec",
+    "PackedPrefilter",
+    "ReplayBackend",
+    "ReplayMismatch",
     "SuiteOutcome",
     "fleet_digest",
     "sample_fleet",

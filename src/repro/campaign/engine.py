@@ -220,6 +220,59 @@ class DeviceRunner:
             telemetry.add("campaign.outcome_memo_hits")
         return outcome
 
+    def prefilter(self, specs: Sequence[DeviceSpec]) -> None:
+        """Resolve pending outcome keys in packed multi-model groups.
+
+        Batches every distinct unresolved outcome key (healthy devices
+        resolve from the golden trace directly; each faulty key becomes
+        one shadow-mux bit-plane) into groups of ``config.pack_width``
+        and runs one packed gate-sim pass per (group, suite), writing
+        the results into the per-suite memo that :meth:`run_device`
+        consumes.  Exactly equivalent to the serial path — planes that
+        never diverge from golden take the golden verdict, diverged
+        planes replay at ISA speed or fall back to the serial gate
+        co-simulation — so reports stay byte-identical.  No-op for
+        units the packed pass cannot batch (the FPU's variable
+        handshake).
+        """
+        from .packed import PACKED_UNITS, PackedPrefilter
+
+        if self.unit not in PACKED_UNITS:
+            return
+        width = max(1, int(self.config.pack_width))
+        suites = self.config.suites
+        targets: List[Tuple[tuple, DeviceSpec]] = []
+        seen = set()
+        want_healthy = False
+        for spec in specs:
+            key = self._outcome_key(spec)
+            if key in seen:
+                continue
+            seen.add(key)
+            if all((key, suite) in self._suite_outcomes for suite in suites):
+                continue
+            if spec.faulty:
+                targets.append((key, spec))
+            else:
+                want_healthy = True
+        if not targets and not want_healthy:
+            return
+        prefilter = PackedPrefilter(self)
+        with telemetry.span(
+            "campaign.prefilter",
+            unit=self.unit,
+            keys=len(targets),
+            width=width,
+        ):
+            if want_healthy:
+                # A healthy device is the golden run.
+                for suite in suites:
+                    self._suite_outcomes.setdefault(
+                        (("healthy",), suite), prefilter.trace(suite).outcome
+                    )
+            for start in range(0, len(targets), width):
+                prefilter.resolve_group(targets[start : start + width])
+
     def run_device(self, spec: DeviceSpec) -> DeviceResult:
         """Run every configured suite against one device."""
         key = self._outcome_key(spec)
@@ -231,10 +284,14 @@ class DeviceRunner:
             faulty=spec.faulty,
         ):
             if outcomes is None:
-                outcomes = [
-                    self._run_suite(suite, spec)
-                    for suite in self.config.suites
-                ]
+                outcomes = []
+                for suite in self.config.suites:
+                    suite_key = (key, suite)
+                    outcome = self._suite_outcomes.get(suite_key)
+                    if outcome is None:
+                        outcome = self._run_suite(suite, spec)
+                        self._suite_outcomes[suite_key] = outcome
+                    outcomes.append(outcome)
                 self._outcomes[key] = outcomes
             else:
                 telemetry.add("campaign.outcome_memo_hits")
@@ -518,6 +575,14 @@ class CampaignEngine:
             runner = DeviceRunner(
                 self.netlist, self.unit, config, self.library
             )
+            if config.packed and pending:
+                # Resolve outcome keys in packed multi-model groups
+                # *before* shard dispatch: the parent-side memo crosses
+                # shard boundaries (pack width is not capped by
+                # shard_size) and is inherited by fork workers.
+                runner.prefilter(
+                    [spec for _, shard in pending for spec in shard]
+                )
             for index, results in self._execute(runner, pending, key):
                 results_by_shard[index] = results
                 self.executed_shards.append(index)

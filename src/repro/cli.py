@@ -207,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "(reports are bit-identical for any worker count)")
     p.add_argument("--shard-size", type=int, default=4,
                    help="devices per shard (the checkpoint/resume unit)")
+    p.add_argument("--no-packed", action="store_true",
+                   help="disable the packed multi-model prefilter and "
+                        "co-simulate every failure model serially "
+                        "(results are bit-identical either way)")
+    p.add_argument("--pack-width", type=int, default=64,
+                   help="max failure-model bit-planes per packed "
+                        "gate-sim group (default: 64)")
     p.add_argument("--suites", default="vega,random,silifuzz",
                    help="comma-separated detection suites to run")
     p.add_argument("--strategy", choices=("sequential", "random"),
@@ -639,6 +646,8 @@ def cmd_campaign(args, out) -> int:
         suites=suites,
         strategy=args.strategy,
         base_onset_years=args.onset_years,
+        packed=not args.no_packed,
+        pack_width=args.pack_width,
     )
     cache = None if args.no_cache else ArtifactCache(args.cache_dir)
     ctx = default_context()

@@ -167,6 +167,11 @@ class CampaignConfig:
             (``None``: match the vega library, as Table 7 does).
         silifuzz_snapshots: Corpus size for the SiliFuzz-style baseline.
         max_suite_instructions: Instruction budget per suite execution.
+        packed: Batch distinct failure models into packed multi-model
+            gate-sim passes (one shadow-mux bit-plane per model) before
+            shard dispatch.  Results are byte-identical either way, so
+            — like ``workers`` — this never enters the campaign key.
+        pack_width: Maximum bit-planes per packed group.
     """
 
     devices: int = 12
@@ -182,6 +187,11 @@ class CampaignConfig:
     random_suite_size: Optional[int] = None
     silifuzz_snapshots: int = 6
     max_suite_instructions: int = 500_000
+    #: Resolve distinct failure models in packed multi-model gate-sim
+    #: groups before shard dispatch (byte-identical to the serial path
+    #: for any pack width, so neither knob enters the campaign key).
+    packed: bool = True
+    pack_width: int = 64
 
 
 @dataclass

@@ -12,12 +12,17 @@ Two modes, exactly as the paper describes:
   can influence, feeds the replica's copy of the flop from the failure
   model, and returns the original/shadow output pairs whose mismatch is
   the ``cover property`` the BMC must reach.
+
+* :func:`make_failing_netlist_multi` attaches *many* failure models to
+  one clone, each behind a per-model 1-bit select port — the packed
+  campaign drives each select with a constant bit-plane mask, so one
+  packed gate-sim pass evaluates every model on its own plane.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..netlist.netlist import Instance, Net, Netlist
 from .models import CMode, EdgeQualifier, FailureModel, ViolationKind
@@ -148,6 +153,87 @@ def make_failing_netlist(
     clone.rewire_input(y, "D", corrupted)
     clone.validate()
     return FailingNetlist(netlist=clone, model=model)
+
+
+@dataclass
+class PackedFailingNetlist:
+    """Many failure models on one clone, one select port per model.
+
+    Each model's corruption mux is gated by ``trigger AND fm_sel_<label>``
+    (for metastable self-loops, by the select alone).  Driving select k
+    with the constant plane mask ``1 << k`` in a packed simulation makes
+    model k corrupt only bit-plane k: every other plane sees the mux as
+    identity, so plane k's values are bit-identical to a single-model
+    :func:`make_failing_netlist` simulation of that model — including
+    across model interactions (a model whose trigger taps a net another
+    model rewired reads the rewired mux output, which on its own plane
+    equals the original net because the other select bit is 0 there).
+    """
+
+    netlist: Netlist
+    models: List[FailureModel]
+    #: model label -> name of its 1-bit select input port.
+    select_ports: Dict[str, str]
+    #: shared ``fm_c`` input port name, present iff any model is RANDOM.
+    random_port: Optional[str] = None
+
+
+def make_failing_netlist_multi(
+    netlist: Netlist, models: Sequence[FailureModel]
+) -> PackedFailingNetlist:
+    """Clone ``netlist`` and attach every model behind its select port.
+
+    Models sharing an endpoint chain their muxes in catalogue order;
+    because each mux is select-gated the chain is order-independent per
+    plane.  All RANDOM-mode models share the single ``fm_c`` port —
+    the packed driver separates them by plane, one RNG stream per
+    plane, exactly replicating each serial backend's ``fm_c`` draws.
+    """
+    models = list(models)
+    labels = [model.label for model in models]
+    if len(set(labels)) != len(labels):
+        raise InstrumentationError(
+            f"duplicate failure-model labels in packed group: {labels}"
+        )
+    clone = netlist.clone(f"{netlist.name}__fail_packed_{len(models)}")
+    select_ports: Dict[str, str] = {}
+    random_port: Optional[str] = None
+    for model in models:
+        x = _find_dff(clone, model.start)
+        y = _find_dff(clone, model.end)
+        sel_name = f"fm_sel_{model.label}"
+        sel = clone.add_input_port(sel_name).bit(0)
+        select_ports[model.label] = sel_name
+        c_net = _c_net(clone, model)
+        if model.c_mode is CMode.RANDOM:
+            random_port = RANDOM_C_PORT
+        if model.is_self_loop:
+            # Metastable: the single-model netlist hard-wires Y's D to
+            # C; here the select alone steers the mux.
+            gate = sel
+        else:
+            trigger = _build_trigger(clone, model, x)
+            gate = clone.add_net(f"fm_gate_{model.label}")
+            clone.add_instance(
+                "AND2",
+                {"A": trigger, "B": sel, "Y": gate},
+                name=f"fm_gand_{model.label}",
+            )
+        original_d = y.pins["D"]
+        out = clone.add_net(f"fm_out_{model.label}")
+        clone.add_instance(
+            "MUX2",
+            {"A": original_d, "B": c_net, "S": gate, "Y": out},
+            name=f"fm_mux_{model.label}",
+        )
+        clone.rewire_input(y, "D", out)
+    clone.validate()
+    return PackedFailingNetlist(
+        netlist=clone,
+        models=models,
+        select_ports=select_ports,
+        random_port=random_port,
+    )
 
 
 @dataclass

@@ -98,6 +98,7 @@ class Netlist:
         self._topo_version = -1
         self._hash_cache: Optional[str] = None
         self._hash_version = -1
+        self._validated_version = -1
 
     @property
     def version(self) -> int:
@@ -274,7 +275,13 @@ class Netlist:
         * every combinational input is driven (by a cell or a port),
         * every output port bit is driven,
         * the combinational core is acyclic.
+
+        A successful validation is memoized per structural version, so
+        constructing many simulators over the same (unmutated) netlist
+        pays the structural walk once.
         """
+        if self._validated_version == self._version:
+            return
         for inst in self.instances.values():
             for pin_name in inst.ctype.inputs:
                 net = inst.pins[pin_name]
@@ -290,6 +297,7 @@ class Netlist:
                         f"output bit {net.name!r} is undriven"
                     )
         self.levelize()  # raises on combinational loops
+        self._validated_version = self._version
 
     def levelize(self) -> List[Instance]:
         """Topologically order combinational instances.

@@ -29,6 +29,15 @@ no RNG state (Thompson draws come from named streams keyed by tick and
 device), serializes to canonical JSON, and round-trips byte-identically
 — the properties the service's checkpoint/restart and the replay
 determinism contract lean on.
+
+Scoring is vectorized: :class:`FleetBelief` maintains a numpy mirror
+(:class:`_BeliefArrays`) of the per-device posteriors, run counts, and
+budgets for one arm catalogue, updated incrementally as outcomes fold
+in.  The dicts stay the canonical state (snapshots, digests, and the
+scalar API are untouched); every array entry is a verbatim *copy* of a
+dict-computed float, and the vectorized score expressions apply the
+same IEEE operations in the same order as the scalar ones, so policies
+reading the arrays decide byte-identically to the scalar reference.
 """
 
 from __future__ import annotations
@@ -37,6 +46,8 @@ import hashlib
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..campaign.fleet import DeviceSpec
 
@@ -125,6 +136,88 @@ def fleet_prior(
         )
         prior[corner] = table
     return prior
+
+
+class _BeliefArrays:
+    """Array mirror of a :class:`FleetBelief` for one arm catalogue.
+
+    Row order is device fleet-index order; arm columns are catalogue
+    (``index``) order; class columns are first-appearance order over
+    the catalogue.  Every float in ``ab``/``fleet_ab`` is copied from
+    the dict state (never recomputed), so array reads equal dict reads
+    bit for bit.
+    """
+
+    def __init__(self, belief: "FleetBelief", arms: Sequence[ArmSpec]):
+        self.digest = tuple(arms_digest(arms))
+        self.arms: List[ArmSpec] = sorted(arms, key=lambda a: a.index)
+        self.arm_col = {arm.name: i for i, arm in enumerate(self.arms)}
+        labels: List[str] = []
+        for arm in self.arms:
+            if arm.class_label not in labels:
+                labels.append(arm.class_label)
+        self.class_col = {label: i for i, label in enumerate(labels)}
+        self.arm_class = np.array(
+            [self.class_col[arm.class_label] for arm in self.arms],
+            dtype=np.intp,
+        )
+        self.cost = np.array(
+            [arm.cost_cycles for arm in self.arms], dtype=np.float64
+        )
+        self.cost_int = np.array(
+            [arm.cost_cycles for arm in self.arms], dtype=np.int64
+        )
+        order = sorted(belief.devices.values(), key=lambda d: d.index)
+        self.row = {device.device_id: i for i, device in enumerate(order)}
+        n_devices, n_classes = len(order), len(labels)
+        self.ab = np.empty((n_devices, n_classes, 2), dtype=np.float64)
+        for i, device in enumerate(order):
+            for label, col in self.class_col.items():
+                alpha, beta = device.posteriors.get(
+                    label, belief._prior_for(device.corner, label)
+                )
+                self.ab[i, col, 0] = alpha
+                self.ab[i, col, 1] = beta
+        self.fleet_ab = np.zeros((n_classes, 2), dtype=np.float64)
+        for label, col in self.class_col.items():
+            fleet = belief.fleet_posteriors.get(label)
+            if fleet is not None:
+                self.fleet_ab[col] = fleet
+        self.runs = np.zeros((n_devices, len(self.arms)), dtype=np.int64)
+        for i, device in enumerate(order):
+            for name, count in device.runs.items():
+                col = self.arm_col.get(name)
+                if col is not None:
+                    self.runs[i, col] = count
+        self.spent = np.array(
+            [device.spent_cycles for device in order], dtype=np.int64
+        )
+        self.detected = np.array(
+            [device.detected for device in order], dtype=bool
+        )
+
+    # -- incremental sync (False: event outside this mirror's scope) ----
+    def on_dispatch(self, device_id: str, arm_name: str) -> bool:
+        row = self.row.get(device_id)
+        col = self.arm_col.get(arm_name)
+        if row is None or col is None:
+            return False
+        self.runs[row, col] += 1
+        return True
+
+    def on_outcome(
+        self, belief: "FleetBelief", device: "DeviceBelief", label: str
+    ) -> bool:
+        row = self.row.get(device.device_id)
+        if row is None:
+            return False
+        self.spent[row] = device.spent_cycles
+        self.detected[row] = device.detected
+        col = self.class_col.get(label)
+        if col is not None:
+            self.ab[row, col] = device.posteriors[label]
+            self.fleet_ab[col] = belief.fleet_posteriors[label]
+        return col is not None
 
 
 @dataclass
@@ -218,6 +311,9 @@ class FleetBelief:
             )
             for spec in fleet
         }
+        #: Lazily built numpy mirror (per arm catalogue); derived state
+        #: only — snapshots and digests never read it.
+        self._arrays: Optional[_BeliefArrays] = None
 
     # -- posterior access ----------------------------------------------
     def _prior_for(self, corner: str, label: str) -> Tuple[float, float]:
@@ -254,11 +350,57 @@ class FleetBelief:
         alpha, beta = self.blended(device_id, label)
         return alpha / (alpha + beta)
 
+    # -- vectorized mirror ----------------------------------------------
+    def arrays(self, arms: Sequence[ArmSpec]) -> _BeliefArrays:
+        """The numpy mirror for ``arms``, built lazily and kept in sync
+        incrementally by :meth:`record_dispatch`/:meth:`record_outcome`
+        (an event outside the mirror's catalogue invalidates it)."""
+        digest = tuple(arms_digest(arms))
+        if self._arrays is None or self._arrays.digest != digest:
+            self._arrays = _BeliefArrays(self, arms)
+        return self._arrays
+
+    def valid_matrix(
+        self, arms: Sequence[ArmSpec], rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """(rows x arms) bool matrix of :meth:`candidates` membership."""
+        mirror = self.arrays(arms)
+        runs = mirror.runs if rows is None else mirror.runs[rows]
+        spent = mirror.spent if rows is None else mirror.spent[rows]
+        remaining = self.cycle_budget - spent
+        return (runs == 0) & (mirror.cost_int[None, :] <= remaining[:, None])
+
+    def blended_matrix(
+        self, arms: Sequence[ArmSpec], rows: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """(rows x classes x 2) blended scoring counts — the vectorized
+        :meth:`blended`: ``device + fleet_blend * fleet`` elementwise.
+        Untouched fleet classes hold (0, 0), and ``x + blend * 0.0`` is
+        bit-exact for the strictly positive alphas/betas here, so each
+        entry equals the scalar read."""
+        mirror = self.arrays(arms)
+        ab = mirror.ab if rows is None else mirror.ab[rows]
+        return ab + self.fleet_blend * mirror.fleet_ab
+
+    def done_mask(self, arms: Sequence[ArmSpec]) -> np.ndarray:
+        """Per-row :meth:`device_done`, whole fleet at once."""
+        mirror = self.arrays(arms)
+        return mirror.detected | ~self.valid_matrix(arms).any(axis=1)
+
+    def all_done(self, arms: Sequence[ArmSpec]) -> bool:
+        return bool(self.done_mask(arms).all())
+
+    def active_count(self, arms: Sequence[ArmSpec]) -> int:
+        return int((~self.done_mask(arms)).sum())
+
     # -- state evolution -----------------------------------------------
     def record_dispatch(self, device_id: str, arm: ArmSpec) -> None:
         device = self.devices[device_id]
         device.runs[arm.name] = device.runs.get(arm.name, 0) + 1
         device.dispatches += 1
+        if self._arrays is not None:
+            if not self._arrays.on_dispatch(device_id, arm.name):
+                self._arrays = None
 
     def record_outcome(
         self,
@@ -285,6 +427,9 @@ class FleetBelief:
         else:
             posterior[1] += 1.0
             fleet[1] += 1.0
+        if self._arrays is not None:
+            if not self._arrays.on_outcome(self, device, arm.class_label):
+                self._arrays = None
 
     # -- dispatch predicates -------------------------------------------
     def runs_of(self, device_id: str, arm_name: str) -> int:
@@ -357,6 +502,7 @@ class FleetBelief:
             device_id: DeviceBelief.from_dict(entry)
             for device_id, entry in data["devices"].items()
         }
+        belief._arrays = None
         return belief
 
     @classmethod

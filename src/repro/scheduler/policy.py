@@ -20,12 +20,22 @@ Three policies ship:
   Sampling keeps exploring low-evidence arms while fleet-level evidence
   steers new devices toward the arms that already caught faults
   elsewhere.
+
+:meth:`Policy.plan` ranks arms with numpy over the belief's array
+mirror — candidate masks and scores for a whole batch at once.  The
+scalar implementation survives as :meth:`Policy.plan_reference`; both
+produce identical schedules (the arrays copy the dict floats verbatim
+and the vectorized expressions apply the same IEEE operations in the
+same order, and Thompson still draws its betavariates one candidate at
+a time from the same named stream), which the equivalence tests pin.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..core.rng import stream_rng
 from .belief import ArmSpec, FleetBelief
@@ -99,7 +109,82 @@ class Policy:
 
         Requests are processed in device-index order so the schedule —
         and everything downstream of it — is independent of arrival
-        order inside the tick.
+        order inside the tick.  Candidate masks and arm ranking run
+        vectorized over the belief's array mirror; the schedule is
+        identical to :meth:`plan_reference`.
+        """
+        schedule = Schedule(tick=tick, policy=self.name)
+        ordered = sorted(requests, key=lambda r: r.device_index)
+        if not ordered:
+            return schedule
+        mirror = belief.arrays(arms)
+        rows = np.array(
+            [mirror.row[request.device_id] for request in ordered],
+            dtype=np.intp,
+        )
+        valid = belief.valid_matrix(arms, rows)
+        columns = self._choose_columns(
+            belief, arms, ordered, rows, valid, tick
+        )
+        if isinstance(columns, np.ndarray):
+            columns = columns.tolist()
+        catalogue = mirror.arms
+        dispatches = schedule.dispatches
+        retired = schedule.retired
+        for position, request in enumerate(ordered):
+            column = columns[position]
+            if column < 0:
+                retired.append(request.device_id)
+                continue
+            arm = catalogue[column]
+            dispatches.append(
+                Dispatch(
+                    device_id=request.device_id,
+                    device_index=request.device_index,
+                    arm=arm.name,
+                    kind=arm.kind,
+                    class_label=arm.class_label,
+                    cost_cycles=arm.cost_cycles,
+                )
+            )
+        return schedule
+
+    def _choose_columns(
+        self,
+        belief: FleetBelief,
+        arms: Sequence[ArmSpec],
+        ordered: Sequence[PlanRequest],
+        rows: np.ndarray,
+        valid: np.ndarray,
+        tick: int,
+    ) -> Sequence[int]:
+        """Catalogue column per request (-1: retire).  Base fallback
+        funnels each row's candidate set through :meth:`choose`, so
+        custom policies stay correct without a vectorized ranking."""
+        mirror = belief.arrays(arms)
+        columns: List[int] = []
+        for position, request in enumerate(ordered):
+            candidates = [
+                mirror.arms[col] for col in np.flatnonzero(valid[position])
+            ]
+            if not candidates:
+                columns.append(-1)
+                continue
+            arm = self.choose(belief, candidates, request, tick)
+            columns.append(mirror.arm_col[arm.name])
+        return columns
+
+    def plan_reference(
+        self,
+        belief: FleetBelief,
+        arms: Sequence[ArmSpec],
+        requests: Sequence[PlanRequest],
+        tick: int,
+    ) -> Schedule:
+        """The scalar planning path (dict lookups, python loops).
+
+        Kept as the equivalence oracle for :meth:`plan` and for A/B
+        benchmarking — byte-identical schedules, no numpy involved.
         """
         schedule = Schedule(tick=tick, policy=self.name)
         for request in sorted(requests, key=lambda r: r.device_index):
@@ -129,6 +214,13 @@ class SequentialPolicy(Policy):
     def choose(self, belief, candidates, request, tick):
         return min(candidates, key=lambda arm: arm.index)
 
+    def _choose_columns(self, belief, arms, ordered, rows, valid, tick):
+        # Catalogue columns are already sorted by arm index, so the
+        # first valid column IS min-by-index.
+        columns = valid.argmax(axis=1)
+        columns[~valid.any(axis=1)] = -1
+        return columns
+
 
 class GreedyPolicy(Policy):
     """Highest posterior-mean detection probability per cycle."""
@@ -144,6 +236,20 @@ class GreedyPolicy(Policy):
                 arm.index,
             ),
         )
+
+    def _choose_columns(self, belief, arms, ordered, rows, valid, tick):
+        mirror = belief.arrays(arms)
+        ab = belief.blended_matrix(arms, rows)
+        mean = ab[..., 0] / (ab[..., 0] + ab[..., 1])
+        # Same float ops as the scalar path: negate the per-class mean,
+        # divide by integer cost.  ``argmin`` takes the first minimum,
+        # matching the scalar (score, arm.index) tie-break because the
+        # columns are in arm-index order.
+        score = np.negative(mean[:, mirror.arm_class]) / mirror.cost[None, :]
+        score[~valid] = np.inf
+        columns = score.argmin(axis=1)
+        columns[~valid.any(axis=1)] = -1
+        return columns
 
 
 class ThompsonPolicy(Policy):
@@ -172,6 +278,44 @@ class ThompsonPolicy(Policy):
                 best = arm
                 best_value = value
         return best
+
+    def _choose_columns(self, belief, arms, ordered, rows, valid, tick):
+        # The blended posteriors come from the array mirror, but the
+        # betavariate draws stay a python loop per candidate in
+        # catalogue order — the stream consumed per (tick, device) is
+        # byte-identical to the scalar path's.  ``tolist`` hands the
+        # loop plain python floats (exact same values) so the hot part
+        # pays list indexing, not numpy scalar extraction.
+        mirror = belief.arrays(arms)
+        ab_rows = belief.blended_matrix(arms, rows).tolist()
+        valid_rows = valid.tolist()
+        arm_class = mirror.arm_class.tolist()
+        costs = [arm.cost_cycles for arm in mirror.arms]
+        columns: List[int] = []
+        for position, request in enumerate(ordered):
+            row_valid = valid_rows[position]
+            row_ab = ab_rows[position]
+            rng = None
+            best = -1
+            best_value = float("-inf")
+            for col, ok in enumerate(row_valid):
+                if not ok:
+                    continue
+                if rng is None:
+                    rng = stream_rng(
+                        "scheduler.thompson",
+                        self.seed,
+                        tick,
+                        request.device_index,
+                    )
+                alpha, beta = row_ab[arm_class[col]]
+                draw = rng.betavariate(alpha, beta)
+                value = draw / costs[col]
+                if value > best_value:
+                    best = col
+                    best_value = value
+            columns.append(best)
+        return columns
 
 
 POLICIES: Dict[str, Callable[[int], Policy]] = {

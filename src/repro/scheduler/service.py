@@ -158,6 +158,10 @@ class DetectionService:
     ):
         self.belief = belief
         self.arms = list(arms)
+        #: name -> ArmSpec, built once; the ingest hot path resolves
+        #: every streamed result's arm against this instead of a
+        #: linear catalogue scan.
+        self._arms_by_name = {arm.name: arm for arm in self.arms}
         self.policy = policy
         self.config = config
         self.log = log
@@ -262,10 +266,7 @@ class DetectionService:
         # arms).  Clients of done devices that have not re-requested
         # yet get their "retire" answer from ``request_plan`` directly
         # once the loop stops.
-        return all(
-            self.belief.device_done(device_id, self.arms)
-            for device_id in self.belief.devices
-        )
+        return self.belief.all_done(self.arms)
 
     def _step(self) -> bool:
         """One scheduler pass: ingest, then maybe plan.  Returns
@@ -320,10 +321,10 @@ class DetectionService:
             self._maybe_checkpoint()
 
     def _arm_by_name(self, name: str) -> ArmSpec:
-        for arm in self.arms:
-            if arm.name == name:
-                return arm
-        raise KeyError(f"unknown arm {name!r}")
+        try:
+            return self._arms_by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown arm {name!r}") from None
 
     # -- planning ------------------------------------------------------
     def _maybe_plan(self) -> bool:
@@ -374,8 +375,9 @@ class DetectionService:
                     detected=self.belief.devices[request.device_id].detected,
                 )
                 continue
-            self.belief.record_dispatch(request.device_id, dispatch_arm(
-                self.arms, dispatch.arm))
+            self.belief.record_dispatch(
+                request.device_id, self._arm_by_name(dispatch.arm)
+            )
             self._outstanding[request.device_id] = dispatch
             self.log.event(
                 "dispatch",
@@ -391,11 +393,7 @@ class DetectionService:
         return True
 
     def _active_devices(self) -> int:
-        return sum(
-            1
-            for device_id in self.belief.devices
-            if not self.belief.device_done(device_id, self.arms)
-        )
+        return self.belief.active_count(self.arms)
 
     def _retire_waiters(self) -> None:
         for request, future in self._waiters:

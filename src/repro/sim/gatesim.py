@@ -67,12 +67,23 @@ def pack_vectors(values: Sequence[int], width: int) -> List[int]:
     ``values`` holds one integer per stimulus vector; the result holds
     one mask per bit position, where bit ``v`` of mask ``i`` is bit ``i``
     of ``values[v]``.
+
+    Single pass over the *set* bits of each value: zero values cost one
+    truth test, and a value with k set bits costs k isolate-lowest-bit
+    steps — O(vectors + popcount) instead of O(vectors × width).  Bits
+    at positions >= ``width`` are ignored, as before.
     """
     planes = [0] * width
+    value_mask = (1 << width) - 1
     for vec_index, value in enumerate(values):
-        for bit_index in range(width):
-            if (value >> bit_index) & 1:
-                planes[bit_index] |= 1 << vec_index
+        rest = value & value_mask
+        if not rest:
+            continue
+        vec_bit = 1 << vec_index
+        while rest:
+            low = rest & -rest
+            planes[low.bit_length() - 1] |= vec_bit
+            rest ^= low
     return planes
 
 
@@ -336,3 +347,45 @@ class GateSimulator:
         _CYCLE_TALLY += cycles
         telemetry.add("sim.cycles", cycles)
         return outputs
+
+    def run_planes(
+        self,
+        stimulus: Iterable[Dict[str, Sequence[int]]],
+        mask: int,
+        watch: Sequence[str],
+    ) -> List[Tuple[List[int], ...]]:
+        """Packed-only :meth:`run` that captures raw bit-planes.
+
+        :meth:`read_outputs` collapses every plane to its vector-0 bit,
+        which throws away exactly what a multi-plane consumer (the
+        packed campaign prefilter) needs.  This variant drives packed
+        stimulus with the same hoisted hot loop and records, per cycle,
+        the undisturbed plane list of each port named in ``watch`` —
+        bit ``k`` of plane ``i`` is output bit ``i`` of stimulus plane
+        ``k``.
+        """
+        global _CYCLE_TALLY
+        watch_indices = [
+            [self._net_index[net.name] for net in self.netlist.ports[p].nets]
+            for p in watch
+        ]
+        eval_fn = self._eval
+        apply_fn = self._apply_packed_inputs
+        load_state = self._load_state
+        values = self.values
+        d_index = self._dff_d_index
+        captured: List[Tuple[List[int], ...]] = []
+        cycles = 0
+        for vec in stimulus:
+            apply_fn(vec, mask)
+            load_state(mask)
+            eval_fn(values, mask)
+            captured.append(
+                tuple([values[i] for i in idxs] for idxs in watch_indices)
+            )
+            self.state = [values[d_idx] & mask for d_idx in d_index]
+            cycles += 1
+        self.cycle_count += cycles
+        _CYCLE_TALLY += cycles
+        telemetry.add("sim.cycles", cycles)
+        return captured
