@@ -1,0 +1,137 @@
+"""Distributed service ingest — sustained throughput across shards.
+
+The sharded service (:mod:`repro.scheduler.distributed`) splits the
+fleet belief across worker processes behind a frame router.  This
+benchmark drives complete distributed runs at 1, 2, 4, and 8 shards
+over one fixed fleet and records, per shard count:
+
+* **ingest throughput** — result events folded into shard beliefs per
+  second of end-to-end wall time;
+* **p99 batch latency** — 99th-percentile wall time per planning tick
+  (one batch planned + its results ingested), pooled over shards;
+* **drain time** — wall time from the last client retiring to every
+  shard's done frame landing (graceful drain + final checkpoint).
+
+Every run must uphold the merge-exactness invariant (merged shard
+digest == single-process fold of the concatenated event stream) —
+throughput that corrupts the belief does not count.  ``VEGA_SMOKE=1``
+shrinks the fleet so CI exercises all shard counts in seconds.
+"""
+
+import os
+
+import pytest
+
+from repro.core.config import CampaignConfig, SchedulerConfig
+from repro.scheduler import DistributedSession, ScheduleSession
+
+SMOKE = os.environ.get("VEGA_SMOKE") == "1"
+SHARDS = (1, 2, 4, 8)
+DEVICES = 16 if SMOKE else 64
+#: Floor on end-to-end ingest throughput at every shard count
+#: (events/sec).  Process spawn + drain are inside the wall time, so
+#: the floor is far below the steady-state rate.
+MIN_EVENTS_PER_S = 1.0 if SMOKE else 5.0
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"),
+    reason="multi-process shards need os.fork",
+)
+
+
+def _session(ctx):
+    config = CampaignConfig(
+        devices=DEVICES,
+        seed=2024,
+        silifuzz_snapshots=3,
+        base_onset_years=6.0,
+    )
+    sched = SchedulerConfig(
+        policy="thompson",
+        policy_seed=7,
+        batch_size=8,
+        batch_window=4,
+        ingest_queue=64,
+        checkpoint_every=1_000_000,  # no checkpoint I/O in the timing
+        cycle_budget=25_000,
+    )
+    return ScheduleSession(
+        ctx.alu.netlist,
+        "alu",
+        ctx.alu.suite(False),
+        ctx.alu.failure_models(),
+        config=config,
+        scheduler=sched,
+    )
+
+
+def test_distributed_ingest(ctx, benchmark, recorder):
+    # Warm shared caches (suite assembly, instrumented netlists, arm
+    # cost measurement) so the table reflects steady-state service
+    # cost, not one-time pipeline setup.
+    _session(ctx).run()
+
+    rows = [
+        f"Distributed service ingest ({DEVICES} devices, thompson "
+        "policy)" + (" [smoke]" if SMOKE else ""),
+        "shards | events | wall (s) | events/s | p99 tick (ms) "
+        "| drain (ms)",
+    ]
+    measured = {}
+    for shards in SHARDS:
+        outcome = DistributedSession(_session(ctx), shards=shards).run(
+            mode="process"
+        )
+        # Throughput only counts if the run is correct: exact shard
+        # merge, fold-referee agreement, no operational alerts.
+        assert outcome.report is not None
+        assert outcome.report.devices == DEVICES
+        assert outcome.fold_digest == outcome.merged_digest
+        assert not outcome.alerts
+
+        stats = outcome.stats
+        wall = stats["wall_seconds"]
+        events_per_s = stats.get("events_per_second", 0.0)
+        p99_ms = 1000.0 * stats.get("p99_tick_wall_seconds", 0.0)
+        drain_ms = 1000.0 * stats.get("drain_wall_seconds", 0.0)
+        measured[shards] = events_per_s
+        rows.append(
+            f"{shards:6d} | {outcome.report.events:6d} | {wall:8.3f} "
+            f"| {events_per_s:8.1f} | {p99_ms:13.2f} | {drain_ms:10.2f}"
+        )
+        meta = dict(
+            shards=shards, devices=DEVICES, policy="thompson",
+            seed=2024,
+        )
+        recorder.sample(
+            "distributed_ingest", "ingest_rate", events_per_s,
+            "events/s", timing=True, bigger_is_better=True, **meta,
+        )
+        recorder.sample(
+            "distributed_ingest", "p99_tick_latency", p99_ms,
+            "ms/tick", timing=True, **meta,
+        )
+        recorder.sample(
+            "distributed_ingest", "drain_time", drain_ms, "ms",
+            timing=True, **meta,
+        )
+        recorder.sample(
+            "distributed_ingest", "events_ingested",
+            outcome.report.events, "events", bigger_is_better=True,
+            **meta,
+        )
+    recorder.table("distributed_ingest", "\n".join(rows))
+
+    for shards, events_per_s in measured.items():
+        assert events_per_s >= MIN_EVENTS_PER_S, (
+            f"{shards} shard(s): sustained ingest "
+            f"{events_per_s:.1f} events/s below floor "
+            f"{MIN_EVENTS_PER_S}"
+        )
+
+    report = benchmark(
+        lambda: DistributedSession(_session(ctx), shards=SHARDS[-1])
+        .run(mode="process")
+        .report
+    )
+    assert report.devices == DEVICES

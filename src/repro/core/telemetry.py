@@ -38,7 +38,16 @@ import json
 import os
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 #: Trace format version, bumped on any incompatible record change.
 TRACE_SCHEMA = 1
@@ -179,9 +188,15 @@ class Telemetry:
         return out.getvalue()
 
     def write_jsonl(self, path: str) -> None:
-        tmp = f"{path}.tmp"
+        # pid-suffixed tmp + fsync: concurrent writers (shard workers,
+        # fork workers) publishing under one path must not clobber each
+        # other's half-written tmp, and the rename must never publish a
+        # partially flushed trace after a crash.
+        tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fp:
             fp.write(self.to_jsonl())
+            fp.flush()
+            os.fsync(fp.fileno())
         os.replace(tmp, path)
 
     def summary_markdown(self) -> str:
@@ -236,6 +251,64 @@ def span(name: str, **attrs: object) -> Iterator[Optional[Span]]:
         return
     with _ACTIVE.span(name, **attrs) as sp:
         yield sp
+
+
+# ---------------------------------------------------------------------
+# Prometheus text export.
+# ---------------------------------------------------------------------
+def prometheus_name(name: str) -> str:
+    """Sanitize a counter name into a valid Prometheus metric name.
+
+    Dots (the telemetry counter convention, ``scheduler.dispatches``)
+    and any other illegal character become underscores.
+    """
+    sanitized = "".join(
+        ch if (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus(
+    counters: Mapping[str, Number],
+    gauges: Sequence[Tuple[str, Mapping[str, str], Number]] = (),
+    prefix: str = "repro",
+) -> str:
+    """Telemetry counters (plus gauge samples) as Prometheus text.
+
+    ``counters`` maps telemetry names to monotonic totals; each renders
+    as ``<prefix>_<name>_total`` with a ``# TYPE`` line.  ``gauges``
+    are ``(name, labels, value)`` samples for point-in-time state
+    (queue depth, heartbeat age).  Output is fully sorted, so a
+    snapshot is deterministic for a given input — scrapes diff cleanly
+    in tests and CI.
+    """
+    lines: List[str] = []
+    for name in sorted(counters):
+        metric = prometheus_name(f"{prefix}_{name}_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    grouped: Dict[str, List[Tuple[Mapping[str, str], Number]]] = {}
+    for name, labels, value in gauges:
+        metric = prometheus_name(f"{prefix}_{name}")
+        grouped.setdefault(metric, []).append((labels, value))
+    for metric in sorted(grouped):
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in sorted(
+            grouped[metric], key=lambda entry: sorted(entry[0].items())
+        ):
+            if labels:
+                label_text = ",".join(
+                    f'{prometheus_name(key)}="{labels[key]}"'
+                    for key in sorted(labels)
+                )
+                lines.append(
+                    f"{metric}{{{label_text}}} {_format_value(value)}"
+                )
+            else:
+                lines.append(f"{metric} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
 
 
 # ---------------------------------------------------------------------

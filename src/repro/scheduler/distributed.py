@@ -1,0 +1,1456 @@
+"""Sharded multi-process detection service with an operational surface.
+
+ROADMAP item 2: the asyncio :class:`~repro.scheduler.service.
+DetectionService` goes fleet-scale by sharding the
+:class:`~repro.scheduler.belief.FleetBelief` across worker processes.
+Each shard owns a contiguous device-index range and runs today's
+service loop unchanged (in ``lockstep`` mode, the arrival-order-
+invariant contract from :class:`~repro.core.config.SchedulerConfig`);
+a front-end :class:`ShardRouter` in the parent speaks a length-prefixed
+JSON frame protocol over ``socket.socketpair()`` so many client tasks
+can ``request_plan`` / ``submit_result`` concurrently.
+
+**Exactness.**  :meth:`FleetBelief.partition` gives every shard the
+full-fleet prior, its range's devices, and exactly its slice of the
+fleet-level evidence; :meth:`FleetBelief.merge` recombines per-shard
+sufficient statistics by summing integer-valued posterior deltas, so
+the merged digest equals the digest of one process folding the
+concatenated ``(shard, seq)`` event stream (:func:`fold_event_stream`
+pins this down, and a mismatch fires the ``belief-divergence`` alert).
+
+**Determinism.**  Per-shard trajectories depend only on that shard's
+devices, so a multi-process run is byte-identical — event logs and
+belief digests — to :meth:`DistributedSession.run` with
+``mode="local"``, the in-process reference that drives the same shard
+partition sequentially.  The lockstep service closes a batch only when
+every enrolled client's request has arrived and folds results sorted
+by device index, which removes the one thing a socket could perturb:
+arrival interleaving.  With the belief-independent ``sequential``
+policy the merged digest is additionally invariant across shard counts
+(each device's arm sequence never depends on batch composition), which
+is the cross-``N`` equality the CI smoke asserts.
+
+**Operational surface** (wall-clock lives here, never in the canonical
+event log): per-shard heartbeat frames with a configurable staleness
+threshold, pluggable alert hooks (:class:`AlertHub`, with a
+:class:`WebhookAlertHook` stub) firing on shard stall / death /
+belief divergence, and a Prometheus-text ``/metrics`` snapshot
+(:meth:`ShardRouter.metrics_text`, served by :class:`MetricsServer`)
+fed from :mod:`repro.core.telemetry` counters plus live shard gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import socket
+import struct
+import threading
+import time
+import urllib.request
+from dataclasses import dataclass, field, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..campaign.engine import DeviceRunner
+from ..campaign.fleet import DeviceSpec, sample_fleet
+from ..core import telemetry
+from ..core.artifacts import ArtifactCache
+from ..core.config import SchedulerConfig
+from .belief import ArmSpec, FleetBelief, arms_digest
+from .policy import Dispatch, make_policy
+from .replay import (
+    FleetAdapter,
+    ScheduleReport,
+    ScheduleSession,
+    build_arms,
+)
+from .service import (
+    DetectionService,
+    EventLog,
+    ResultEvent,
+    RetryAfter,
+)
+
+#: Hard cap on one frame's JSON body; a length prefix beyond this means
+#: a corrupt or hostile stream, not a big belief snapshot.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Batch window used for shard services: effectively "never expire".
+#: Lockstep batches close on the full client set, so the window's only
+#: legal value is one that can never race a slow frame.
+_LOCKSTEP_WINDOW = 10**9
+
+
+# ---------------------------------------------------------------------
+# Frame codec: 4-byte big-endian length prefix + canonical JSON body.
+# ---------------------------------------------------------------------
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame for ``payload`` (canonical JSON, length-prefixed)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame body of {len(body)} bytes exceeds "
+            f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+        )
+    return struct.pack(">I", len(body)) + body
+
+
+class FrameDecoder:
+    """Incremental decoder for the length-prefixed frame stream.
+
+    Feed arbitrary byte chunks (socket reads split frames wherever they
+    like); complete frames come back decoded, partial ones buffer.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[dict]:
+        self._buffer.extend(data)
+        frames: List[dict] = []
+        while len(self._buffer) >= 4:
+            (length,) = struct.unpack_from(">I", self._buffer, 0)
+            if length > MAX_FRAME_BYTES:
+                raise ValueError(
+                    f"frame length {length} exceeds "
+                    f"MAX_FRAME_BYTES={MAX_FRAME_BYTES}"
+                )
+            if len(self._buffer) < 4 + length:
+                break
+            body = bytes(self._buffer[4 : 4 + length])
+            del self._buffer[: 4 + length]
+            frames.append(json.loads(body.decode("utf-8")))
+        return frames
+
+
+class FrameConn:
+    """Async frame transport over one (non-blocking) stream socket."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.sock.setblocking(False)
+        self._decoder = FrameDecoder()
+        self._send_lock = asyncio.Lock()
+
+    async def send(self, payload: dict) -> None:
+        data = encode_frame(payload)
+        async with self._send_lock:
+            await asyncio.get_running_loop().sock_sendall(self.sock, data)
+
+    async def recv(self) -> Optional[List[dict]]:
+        """Decoded frames from one socket read; ``None`` at EOF."""
+        try:
+            data = await asyncio.get_running_loop().sock_recv(
+                self.sock, 1 << 16
+            )
+        except (ConnectionResetError, OSError):
+            return None
+        if not data:
+            return None
+        return self._decoder.feed(data)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------
+# Shard layout.
+# ---------------------------------------------------------------------
+def shard_ranges(devices: int, shards: int) -> List[Tuple[int, int]]:
+    """Contiguous half-open index ranges tiling ``devices`` across
+    ``shards`` (first ``devices % shards`` shards take the extra)."""
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    base, extra = divmod(devices, shards)
+    ranges: List[Tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Identity of one shard within a distributed session."""
+
+    index: int
+    shards: int
+    lo: int
+    hi: int
+    run_id: str
+    checkpoint_key: str
+
+
+@dataclass
+class ShardResult:
+    """What one shard reports back after a graceful drain."""
+
+    spec: ShardSpec
+    log_jsonl: str
+    belief: FleetBelief
+    digest: str
+    tick: int
+    events: int
+    counters: Dict[str, float] = field(default_factory=dict)
+    tick_walls: List[float] = field(default_factory=list)
+    resumed: bool = False
+
+
+# ---------------------------------------------------------------------
+# Alerting.
+# ---------------------------------------------------------------------
+class AlertHub:
+    """Fan-out point for operational alerts.
+
+    Hooks are plain callables taking the alert dict; a raising hook is
+    counted and skipped, never allowed to take the service down.
+    """
+
+    def __init__(self, hooks: Sequence[Callable[[dict], None]] = ()):
+        self.hooks = list(hooks)
+        self.alerts: List[dict] = []
+
+    def fire(self, kind: str, **detail: object) -> dict:
+        alert = {"kind": kind, **detail}
+        self.alerts.append(alert)
+        telemetry.add(f"scheduler.alerts.{kind}")
+        for hook in self.hooks:
+            try:
+                hook(alert)
+            except Exception:
+                telemetry.add("scheduler.alert_hook_errors")
+        return alert
+
+
+class WebhookAlertHook:
+    """Alert hook that POSTs each alert as JSON to a webhook URL.
+
+    A stub in the icdev proactive-monitoring spirit: delivery is
+    best-effort with a short timeout, and failures only count — an
+    unreachable webhook must never block or crash the router.
+    """
+
+    def __init__(self, url: str, timeout: float = 2.0):
+        self.url = url
+        self.timeout = float(timeout)
+        self.delivered = 0
+        self.failed = 0
+
+    def __call__(self, alert: dict) -> None:
+        body = json.dumps(alert, sort_keys=True, default=str).encode()
+        request = urllib.request.Request(
+            self.url,
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            urllib.request.urlopen(request, timeout=self.timeout).close()
+            self.delivered += 1
+        except Exception:
+            self.failed += 1
+            telemetry.add("scheduler.webhook_failures")
+
+
+# ---------------------------------------------------------------------
+# Metrics endpoint.
+# ---------------------------------------------------------------------
+class MetricsServer:
+    """Threaded HTTP server exposing ``/metrics`` (Prometheus text).
+
+    ``render`` is called per scrape, so the endpoint always shows the
+    current counter/heartbeat state.  ``port=0`` binds an ephemeral
+    port (the resolved one is in :attr:`port`).
+    """
+
+    def __init__(self, render: Callable[[], str], port: int = 0,
+                 host: str = "127.0.0.1"):
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                if self.path in ("/", "/metrics"):
+                    body = outer.render().encode("utf-8")
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4"
+                    )
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_response(404)
+                    self.end_headers()
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes are telemetry, not stderr noise
+
+        self.render = render
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics",
+            daemon=True,
+        )
+
+    def start(self) -> "MetricsServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5)
+
+
+# ---------------------------------------------------------------------
+# Worker process: one shard's DetectionService behind a frame socket.
+# ---------------------------------------------------------------------
+class _TickTimedPolicy:
+    """Policy wrapper measuring wall time between consecutive plans.
+
+    One plan == one tick, so the gaps are per-batch wall latencies
+    (dispatch -> execute -> full ingest).  Purely observational: every
+    decision delegates to the wrapped policy.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.tick_walls: List[float] = []
+        self._last: Optional[float] = None
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def seed(self) -> int:
+        return self._inner.seed
+
+    def plan(self, belief, arms, requests, tick):
+        now = time.perf_counter()
+        if self._last is not None:
+            self.tick_walls.append(now - self._last)
+        self._last = now
+        return self._inner.plan(belief, arms, requests, tick)
+
+
+def _build_shard_service(
+    payload: dict,
+) -> Tuple[DetectionService, EventLog, _TickTimedPolicy]:
+    """A lockstep DetectionService from a shard worker payload.
+
+    Shared by the worker process and the in-process reference, so both
+    modes construct byte-identical services by design.
+    """
+    belief = FleetBelief.from_snapshot(payload["belief"])
+    arms = [ArmSpec(**row) for row in payload["arms"]]
+    policy = _TickTimedPolicy(
+        make_policy(payload["policy"], payload["policy_seed"])
+    )
+    config = SchedulerConfig(**payload["config"])
+    log = EventLog(run_id=payload["run_id"])
+    cache = (
+        ArtifactCache(payload["cache_dir"])
+        if payload.get("cache_dir")
+        else None
+    )
+    service = DetectionService(
+        belief=belief,
+        arms=arms,
+        policy=policy,
+        config=config,
+        log=log,
+        cache=cache,
+        checkpoint_key=payload["checkpoint_key"],
+        tick=payload["tick"],
+        events_ingested=payload["events_ingested"],
+    )
+    service.kill_after_events = payload.get("kill_after_events")
+    return service, log, policy
+
+
+def _done_frame(
+    payload: dict,
+    service: DetectionService,
+    log: EventLog,
+    policy: _TickTimedPolicy,
+    counters: Dict[str, float],
+) -> dict:
+    return {
+        "op": "done",
+        "shard": payload["shard"],
+        "log": log.to_jsonl(),
+        "belief": service.belief.snapshot(),
+        "digest": service.belief.digest(),
+        "tick": service.tick,
+        "events": service.events_ingested,
+        "counters": counters,
+        "tick_walls": policy.tick_walls,
+    }
+
+
+async def _shard_worker(sock: socket.socket, payload: dict) -> None:
+    conn = FrameConn(sock)
+    service, log, policy = _build_shard_service(payload)
+    wake = asyncio.Event()
+    handlers: set = set()
+    closed = asyncio.Event()
+
+    async def idle_wait() -> None:
+        # Park until a frame arrives (or a short timeout as a safety
+        # net); in lockstep mode idle passes never mutate state, so
+        # waiting here cannot change the trajectory — it only stops
+        # the loop from spinning hot on an empty socket.
+        try:
+            await asyncio.wait_for(wake.wait(), timeout=0.02)
+        except asyncio.TimeoutError:
+            pass
+        wake.clear()
+
+    service.idle_wait = idle_wait
+
+    def spawn(coro) -> None:
+        task = asyncio.ensure_future(coro)
+        handlers.add(task)
+        task.add_done_callback(handlers.discard)
+
+    async def handle_plan(frame: dict) -> None:
+        dispatch = await service.request_plan(
+            frame["device"], frame["index"]
+        )
+        await conn.send(
+            {
+                "op": "plan_ok",
+                "rid": frame["rid"],
+                "dispatch": (
+                    dataclasses.asdict(dispatch)
+                    if dispatch is not None
+                    else None
+                ),
+            }
+        )
+
+    async def handle_submit(frame: dict) -> None:
+        result = ResultEvent(**frame["result"])
+        try:
+            await service.submit_result(result)
+        except RetryAfter as exc:
+            await conn.send(
+                {
+                    "op": "retry",
+                    "rid": frame["rid"],
+                    "after": exc.retry_after,
+                }
+            )
+            return
+        await conn.send({"op": "submit_ok", "rid": frame["rid"]})
+
+    async def reader() -> None:
+        while True:
+            frames = await conn.recv()
+            if frames is None:
+                break
+            for frame in frames:
+                op = frame.get("op")
+                if op == "plan":
+                    # ensure_future per frame: tasks run in creation
+                    # order, so the service sees requests in exact
+                    # wire order.
+                    spawn(handle_plan(frame))
+                elif op == "submit":
+                    spawn(handle_submit(frame))
+                elif op == "drain":
+                    service.request_shutdown()
+                elif op == "close":
+                    closed.set()
+                    return
+            wake.set()
+        closed.set()
+
+    async def heartbeats() -> None:
+        interval = float(payload.get("heartbeat_interval", 0.2))
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                await conn.send(
+                    {
+                        "op": "heartbeat",
+                        "shard": payload["shard"],
+                        "tick": service.tick,
+                        "events": service.events_ingested,
+                        "queue": len(service._buffer),
+                        "outstanding": len(service._outstanding),
+                        "draining": service._draining,
+                    }
+                )
+            except OSError:
+                return  # parent hung up mid-beat; the worker is done
+
+    reader_task = asyncio.ensure_future(reader())
+    heartbeat_task = asyncio.ensure_future(heartbeats())
+    try:
+        await service.run()
+        killed = (
+            service.kill_after_events is not None
+            and service.events_ingested >= service.kill_after_events
+        )
+        if killed:
+            # Simulated crash: no done frame, no farewell — the parent
+            # sees a bare EOF, exactly like a real shard death.  The
+            # periodic checkpoints are the only survivors.
+            return
+        active = telemetry.active()
+        await conn.send(
+            _done_frame(
+                payload,
+                service,
+                log,
+                policy,
+                dict(active.counters) if active is not None else {},
+            )
+        )
+        # Keep answering stragglers (clients that submitted their last
+        # result and re-request after the drain) until the parent
+        # closes the connection.
+        await closed.wait()
+    finally:
+        heartbeat_task.cancel()
+        reader_task.cancel()
+        for task in list(handlers):
+            task.cancel()
+        conn.close()
+
+
+def _shard_worker_main(sock: socket.socket, payload: dict) -> None:
+    # Fresh telemetry per worker; the counter deltas ship back in the
+    # done frame and merge into the parent in shard order, the same
+    # fork-worker discipline the profiler and lifter use.
+    telemetry.install(telemetry.Telemetry(run_id=payload["run_id"]))
+    try:
+        asyncio.run(_shard_worker(sock, payload))
+    finally:
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------
+# Front-end router.
+# ---------------------------------------------------------------------
+@dataclass
+class HeartbeatRecord:
+    """Latest liveness report from one shard (wall-clock side only)."""
+
+    shard: int
+    tick: int
+    events: int
+    queue: int
+    outstanding: int
+    draining: bool
+    at_monotonic: float
+
+
+class _ShardHandle:
+    """Router-side state for one shard connection."""
+
+    def __init__(self, spec: ShardSpec, conn: FrameConn,
+                 process: Optional[multiprocessing.process.BaseProcess]):
+        self.spec = spec
+        self.conn = conn
+        self.process = process
+        self.pending: Dict[int, asyncio.Future] = {}
+        self.last_heartbeat: Optional[HeartbeatRecord] = None
+        self.heartbeat_count = 0
+        self.done_frame: Optional[dict] = None
+        self.done_event = asyncio.Event()
+        self.dead = False
+        self.stalled = False
+        self._rid = 0
+
+    def next_rid(self) -> int:
+        self._rid += 1
+        return self._rid
+
+
+class ShardRouter:
+    """Routes plan/submit traffic to shards; watches their health.
+
+    The router is the operational front end: client tasks call
+    :meth:`request_plan` / :meth:`submit_result` with plain device
+    coordinates, and it correlates request/response frames by rid,
+    tracks per-shard heartbeats against ``stale_after``, fires alert
+    hooks on stall/death, and renders the ``/metrics`` snapshot.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[_ShardHandle],
+        alerts: AlertHub,
+        stale_after: float = 5.0,
+        check_interval: float = 0.2,
+    ):
+        self.handles = list(handles)
+        self.alerts = alerts
+        self.stale_after = float(stale_after)
+        self.check_interval = float(check_interval)
+        self._tasks: List[asyncio.Future] = []
+        self._started_monotonic = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> None:
+        self._started_monotonic = time.monotonic()
+        for handle in self.handles:
+            self._tasks.append(
+                asyncio.ensure_future(self._shard_reader(handle))
+            )
+        self._tasks.append(asyncio.ensure_future(self._monitor()))
+
+    async def wait_done(self) -> None:
+        """Until every shard reported done or died."""
+        for handle in self.handles:
+            await handle.done_event.wait()
+
+    async def close(self) -> None:
+        for handle in self.handles:
+            if not handle.dead:
+                try:
+                    await handle.conn.send({"op": "close"})
+                except OSError:
+                    pass
+        for task in self._tasks:
+            task.cancel()
+        for handle in self.handles:
+            handle.conn.close()
+
+    # -- routing -------------------------------------------------------
+    def shard_for(self, device_index: int) -> _ShardHandle:
+        for handle in self.handles:
+            if handle.spec.lo <= device_index < handle.spec.hi:
+                return handle
+        raise KeyError(f"device index {device_index} is outside "
+                       f"every shard range")
+
+    async def request_plan(
+        self, device_id: str, device_index: int
+    ) -> Optional[Dispatch]:
+        handle = self.shard_for(device_index)
+        if handle.dead:
+            return None
+        rid = handle.next_rid()
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        handle.pending[rid] = future
+        await handle.conn.send(
+            {
+                "op": "plan",
+                "rid": rid,
+                "device": device_id,
+                "index": device_index,
+            }
+        )
+        telemetry.add("scheduler.router.plans")
+        frame = await future
+        if frame is None:  # shard died with the request in flight
+            return None
+        row = frame.get("dispatch")
+        return Dispatch(**row) if row is not None else None
+
+    async def submit_result(self, result: ResultEvent) -> None:
+        handle = self.shard_for(result.device_index)
+        if handle.dead:
+            return  # dead shard drops results, like a stopped service
+        rid = handle.next_rid()
+        future: asyncio.Future = (
+            asyncio.get_running_loop().create_future()
+        )
+        handle.pending[rid] = future
+        await handle.conn.send(
+            {
+                "op": "submit",
+                "rid": rid,
+                "result": dataclasses.asdict(result),
+            }
+        )
+        frame = await future
+        if frame is None:
+            return
+        if frame.get("op") == "retry":
+            telemetry.add("scheduler.router.retries")
+            raise RetryAfter(retry_after=int(frame.get("after", 1)))
+        telemetry.add("scheduler.router.results")
+
+    # -- health --------------------------------------------------------
+    async def _shard_reader(self, handle: _ShardHandle) -> None:
+        while True:
+            frames = await handle.conn.recv()
+            if frames is None:
+                break
+            for frame in frames:
+                op = frame.get("op")
+                if op in ("plan_ok", "submit_ok", "retry"):
+                    future = handle.pending.pop(frame.get("rid"), None)
+                    if future is not None and not future.done():
+                        future.set_result(frame)
+                elif op == "heartbeat":
+                    handle.heartbeat_count += 1
+                    handle.last_heartbeat = HeartbeatRecord(
+                        shard=handle.spec.index,
+                        tick=int(frame.get("tick", 0)),
+                        events=int(frame.get("events", 0)),
+                        queue=int(frame.get("queue", 0)),
+                        outstanding=int(frame.get("outstanding", 0)),
+                        draining=bool(frame.get("draining", False)),
+                        at_monotonic=time.monotonic(),
+                    )
+                    telemetry.add("scheduler.router.heartbeats")
+                elif op == "done":
+                    handle.done_frame = frame
+                    handle.done_event.set()
+        # EOF: a graceful shard already sent its done frame; anything
+        # else is a death.
+        if handle.done_frame is None and not handle.done_event.is_set():
+            handle.dead = True
+            self.alerts.fire(
+                "shard-death",
+                shard=handle.spec.index,
+                lo=handle.spec.lo,
+                hi=handle.spec.hi,
+                last_tick=(
+                    handle.last_heartbeat.tick
+                    if handle.last_heartbeat
+                    else None
+                ),
+            )
+        for future in handle.pending.values():
+            if not future.done():
+                future.set_result(None)
+        handle.pending.clear()
+        handle.done_event.set()
+
+    async def _monitor(self) -> None:
+        while True:
+            await asyncio.sleep(self.check_interval)
+            now = time.monotonic()
+            for handle in self.handles:
+                if handle.dead or handle.done_event.is_set():
+                    continue
+                last = (
+                    handle.last_heartbeat.at_monotonic
+                    if handle.last_heartbeat is not None
+                    else self._started_monotonic
+                )
+                age = now - last
+                if age > self.stale_after and not handle.stalled:
+                    handle.stalled = True
+                    self.alerts.fire(
+                        "shard-stall",
+                        shard=handle.spec.index,
+                        stale_seconds=round(age, 3),
+                        threshold=self.stale_after,
+                    )
+                elif age <= self.stale_after:
+                    handle.stalled = False
+
+    def stale_shards(self, threshold: Optional[float] = None) -> List[int]:
+        """Shard indexes whose last heartbeat is older than the
+        threshold (default: the router's ``stale_after``)."""
+        limit = self.stale_after if threshold is None else float(threshold)
+        now = time.monotonic()
+        stale: List[int] = []
+        for handle in self.handles:
+            if handle.done_event.is_set():
+                continue
+            last = (
+                handle.last_heartbeat.at_monotonic
+                if handle.last_heartbeat is not None
+                else self._started_monotonic
+            )
+            if now - last > limit:
+                stale.append(handle.spec.index)
+        return stale
+
+    # -- metrics -------------------------------------------------------
+    def metrics_text(self) -> str:
+        """Prometheus text snapshot: telemetry counters + live gauges."""
+        active = telemetry.active()
+        counters = dict(active.counters) if active is not None else {}
+        now = time.monotonic()
+        gauges: List[Tuple[str, Dict[str, str], float]] = [
+            ("scheduler.shards", {}, len(self.handles)),
+            (
+                "scheduler.shards_live",
+                {},
+                sum(
+                    1
+                    for handle in self.handles
+                    if not handle.dead and not handle.done_event.is_set()
+                ),
+            ),
+        ]
+        for handle in self.handles:
+            labels = {"shard": str(handle.spec.index)}
+            gauges.append(
+                ("scheduler.shard_dead", labels, int(handle.dead))
+            )
+            heartbeat = handle.last_heartbeat
+            if heartbeat is None:
+                continue
+            gauges.extend(
+                [
+                    ("scheduler.shard_tick", labels, heartbeat.tick),
+                    ("scheduler.shard_events", labels, heartbeat.events),
+                    (
+                        "scheduler.shard_queue_depth",
+                        labels,
+                        heartbeat.queue,
+                    ),
+                    (
+                        "scheduler.shard_outstanding",
+                        labels,
+                        heartbeat.outstanding,
+                    ),
+                    (
+                        "scheduler.shard_heartbeat_age_seconds",
+                        labels,
+                        round(now - heartbeat.at_monotonic, 3),
+                    ),
+                ]
+            )
+        return telemetry.render_prometheus(counters, gauges)
+
+
+# ---------------------------------------------------------------------
+# Event-stream fold: the single-process referee for merge exactness.
+# ---------------------------------------------------------------------
+def fold_event_stream(
+    fleet: Sequence[DeviceSpec],
+    classes: Sequence[str],
+    scheduler: SchedulerConfig,
+    arms: Sequence[ArmSpec],
+    records: Sequence[dict],
+) -> FleetBelief:
+    """Fold concatenated shard event records into one fresh belief.
+
+    This is "the single process seeing the same event stream": replay
+    every dispatch/result record, in (shard, seq) order, into a belief
+    built over the full fleet.  :meth:`FleetBelief.merge` of the shard
+    beliefs must produce the identical digest — the merge-exactness
+    invariant, checked after every distributed run.
+    """
+    belief = FleetBelief(
+        fleet,
+        classes,
+        cycle_budget=scheduler.cycle_budget,
+        fleet_blend=scheduler.fleet_blend,
+    )
+    arms_by_name = {arm.name: arm for arm in arms}
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        attrs = record.get("attrs", {})
+        name = record.get("name")
+        if name == "dispatch":
+            belief.record_dispatch(
+                attrs["device"], arms_by_name[attrs["arm"]]
+            )
+        elif name == "result":
+            belief.record_outcome(
+                attrs["device"],
+                arms_by_name[attrs["arm"]],
+                attrs["detected"],
+                attrs["cycles"],
+                detected_by=attrs.get("detected_by"),
+            )
+    return belief
+
+
+# ---------------------------------------------------------------------
+# The distributed session.
+# ---------------------------------------------------------------------
+@dataclass
+class DistributedOutcome:
+    """Everything one distributed run produced."""
+
+    session_key: str
+    fleet: List[DeviceSpec]
+    shards: List[Optional[ShardResult]]
+    report: Optional[ScheduleReport]
+    belief: Optional[FleetBelief]
+    merged_digest: Optional[str]
+    fold_digest: Optional[str]
+    alerts: List[dict]
+    metrics_text: str
+    killed_shards: List[int] = field(default_factory=list)
+    resumed_shards: List[int] = field(default_factory=list)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    def concatenated_jsonl(self) -> str:
+        """Per-shard logs concatenated in (shard, seq) order — the
+        canonical distributed event log."""
+        return "".join(
+            shard.log_jsonl for shard in self.shards if shard is not None
+        )
+
+
+class DistributedSession:
+    """A :class:`ScheduleSession` sharded across worker processes.
+
+    Wraps a schedule session: the fleet, arms, adapter, and policy all
+    come from it; this class partitions the belief, derives the
+    per-shard lockstep configs, and drives the shards either as forked
+    worker processes behind a :class:`ShardRouter` (``mode="process"``)
+    or sequentially in-process (``mode="local"``, the byte-identical
+    determinism reference).
+    """
+
+    def __init__(self, session: ScheduleSession, shards: int):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.session = session
+        self.shards = int(shards)
+
+    # -- identity -------------------------------------------------------
+    def session_key(self, fleet: Sequence[DeviceSpec]) -> str:
+        return ArtifactCache.digest(
+            "scheduler.distributed",
+            self.session.session_key(fleet),
+            self.shards,
+        )
+
+    def shard_specs(
+        self, fleet: Sequence[DeviceSpec], key: str
+    ) -> List[ShardSpec]:
+        count = min(self.shards, max(1, len(fleet)))
+        specs = []
+        for index, (lo, hi) in enumerate(
+            shard_ranges(len(fleet), count)
+        ):
+            specs.append(
+                ShardSpec(
+                    index=index,
+                    shards=count,
+                    lo=lo,
+                    hi=hi,
+                    run_id=f"sched-{key[:12]}-s{index}",
+                    checkpoint_key=ArtifactCache.digest(
+                        "scheduler.shard", key, index, count, lo, hi
+                    ),
+                )
+            )
+        return specs
+
+    def _shard_config(self, device_count: int) -> SchedulerConfig:
+        """The lockstep config a shard service runs under.
+
+        The batch is the whole shard and the window can never expire,
+        so batch composition — and with it the trajectory — is a pure
+        function of the shard's device set.  The queue bound is lifted
+        to the shard size so lockstep ingestion can never reject a
+        batch member (rejections would be wall-clock-order dependent).
+        """
+        base = self.session.scheduler
+        return replace(
+            base,
+            batch_size=max(1, device_count),
+            batch_window=_LOCKSTEP_WINDOW,
+            ingest_queue=max(base.ingest_queue, device_count, 1),
+            lockstep=True,
+        )
+
+    # -- shared prep ----------------------------------------------------
+    def _prepare(self, resume: bool):
+        session = self.session
+        fleet = sample_fleet(
+            session.config, session.failing_models, session.base_onset_years
+        )
+        key = self.session_key(fleet)
+        runner = DeviceRunner(
+            session.netlist, session.unit, session.config, session.library
+        )
+        arms = build_arms(session.library, runner)
+        adapter = FleetAdapter(runner, session.library)
+        classes = sorted(
+            {model.label for model in session.failing_models}
+        )
+        specs = self.shard_specs(fleet, key)
+        full = FleetBelief(
+            fleet,
+            classes,
+            cycle_budget=session.scheduler.cycle_budget,
+            fleet_blend=session.scheduler.fleet_blend,
+        )
+        slices = full.partition([(spec.lo, spec.hi) for spec in specs])
+        states: List[dict] = []
+        for spec, fresh in zip(specs, slices):
+            belief, tick, events, resumed = fresh, 0, 0, False
+            if resume and session.cache is not None:
+                state = session.cache.load_checkpoint(spec.checkpoint_key)
+                if (
+                    isinstance(state, dict)
+                    and state.get("arms") == arms_digest(arms)
+                    and state.get("policy") == session.scheduler.policy
+                    and state.get("policy_seed")
+                    == session.scheduler.policy_seed
+                ):
+                    belief = FleetBelief.from_snapshot(state["belief"])
+                    tick = int(state["tick"])
+                    events = int(state["events_ingested"])
+                    resumed = True
+            states.append(
+                {
+                    "spec": spec,
+                    "belief": belief,
+                    "tick": tick,
+                    "events": events,
+                    "resumed": resumed,
+                }
+            )
+        return fleet, key, arms, adapter, classes, states
+
+    def _worker_payload(
+        self,
+        state: dict,
+        arms: Sequence[ArmSpec],
+        kill_after_events: Optional[int],
+        heartbeat_interval: float,
+    ) -> dict:
+        spec: ShardSpec = state["spec"]
+        session = self.session
+        return {
+            "shard": spec.index,
+            "shards": spec.shards,
+            "run_id": spec.run_id,
+            "checkpoint_key": spec.checkpoint_key,
+            "belief": state["belief"].snapshot(),
+            "arms": [dataclasses.asdict(arm) for arm in arms],
+            "policy": session.scheduler.policy,
+            "policy_seed": session.scheduler.policy_seed,
+            "config": dataclasses.asdict(
+                self._shard_config(spec.hi - spec.lo)
+            ),
+            "cache_dir": (
+                str(session.cache.root)
+                if session.cache is not None
+                else None
+            ),
+            "tick": state["tick"],
+            "events_ingested": state["events"],
+            "kill_after_events": kill_after_events,
+            "heartbeat_interval": heartbeat_interval,
+        }
+
+    # -- execution ------------------------------------------------------
+    def run(
+        self,
+        mode: str = "process",
+        resume: bool = False,
+        kill_shard: Optional[int] = None,
+        kill_after_events: Optional[int] = None,
+        heartbeat_interval: float = 0.2,
+        stale_after: float = 5.0,
+        alert_hooks: Sequence[Callable[[dict], None]] = (),
+        metrics_port: Optional[int] = None,
+        metrics_sink: Optional[List[MetricsServer]] = None,
+    ) -> DistributedOutcome:
+        """Run (or resume) the sharded service to completion.
+
+        ``mode="process"`` forks one worker per shard behind the frame
+        protocol; ``mode="local"`` drives the identical shard services
+        sequentially in-process — the reference the byte-identity tests
+        compare against.  ``kill_shard``/``kill_after_events`` simulate
+        one shard dying after that many shard-local ingested events (no
+        drain, no done frame); resume the session afterwards to recover
+        it from its periodic checkpoints.
+        """
+        if mode not in ("process", "local"):
+            raise ValueError(f"unknown mode {mode!r}")
+        (fleet, key, arms, adapter, classes, states) = self._prepare(
+            resume
+        )
+        alerts = AlertHub(alert_hooks)
+        if mode == "process":
+            outcome = self._run_process(
+                fleet,
+                key,
+                arms,
+                adapter,
+                classes,
+                states,
+                alerts,
+                kill_shard,
+                kill_after_events,
+                heartbeat_interval,
+                stale_after,
+                metrics_port,
+                metrics_sink,
+            )
+        else:
+            outcome = self._run_local(
+                fleet,
+                key,
+                arms,
+                adapter,
+                classes,
+                states,
+                alerts,
+                kill_shard,
+                kill_after_events,
+            )
+        return outcome
+
+    # -- local (in-process reference) -----------------------------------
+    def _run_local(
+        self,
+        fleet: Sequence[DeviceSpec],
+        key: str,
+        arms: Sequence[ArmSpec],
+        adapter: FleetAdapter,
+        classes: Sequence[str],
+        states: List[dict],
+        alerts: AlertHub,
+        kill_shard: Optional[int],
+        kill_after_events: Optional[int],
+    ) -> DistributedOutcome:
+        results: List[Optional[ShardResult]] = []
+        killed_shards: List[int] = []
+        by_index = {spec.index: spec for spec in fleet}
+        t0 = time.perf_counter()
+        for state in states:
+            spec: ShardSpec = state["spec"]
+            payload = self._worker_payload(
+                state,
+                arms,
+                kill_after_events if kill_shard == spec.index else None,
+                heartbeat_interval=3600.0,
+            )
+            service, log, policy = _build_shard_service(payload)
+            members = [
+                by_index[i]
+                for i in range(spec.lo, spec.hi)
+                if not service.belief.device_done(
+                    by_index[i].device_id, service.arms
+                )
+            ]
+
+            async def drive() -> None:
+                clients = [
+                    asyncio.ensure_future(
+                        self._local_client(service, adapter, member)
+                    )
+                    for member in members
+                ]
+                await asyncio.gather(service.run(), *clients)
+
+            asyncio.run(drive())
+            killed = (
+                service.kill_after_events is not None
+                and service.events_ingested >= service.kill_after_events
+            )
+            if killed:
+                killed_shards.append(spec.index)
+                results.append(None)
+                alerts.fire("shard-death", shard=spec.index,
+                            lo=spec.lo, hi=spec.hi, last_tick=None)
+                continue
+            results.append(
+                ShardResult(
+                    spec=spec,
+                    log_jsonl=log.to_jsonl(),
+                    belief=service.belief,
+                    digest=service.belief.digest(),
+                    tick=service.tick,
+                    events=service.events_ingested,
+                    counters={},
+                    tick_walls=list(policy.tick_walls),
+                    resumed=state["resumed"],
+                )
+            )
+        wall = time.perf_counter() - t0
+        return self._finalize(
+            fleet, key, arms, classes, states, results, alerts,
+            killed_shards, stats={"wall_seconds": wall},
+            metrics_text=telemetry.render_prometheus(
+                dict(telemetry.active().counters)
+                if telemetry.active() is not None
+                else {}
+            ),
+        )
+
+    async def _local_client(
+        self,
+        service: DetectionService,
+        adapter: FleetAdapter,
+        spec: DeviceSpec,
+    ) -> None:
+        while True:
+            dispatch = await service.request_plan(
+                spec.device_id, spec.index
+            )
+            if dispatch is None:
+                return
+            result = adapter.execute(spec, dispatch)
+            while True:
+                try:
+                    await service.submit_result(result)
+                    break
+                except RetryAfter as exc:
+                    for _ in range(exc.retry_after):
+                        await asyncio.sleep(0)
+
+    # -- process mode ---------------------------------------------------
+    def _run_process(
+        self,
+        fleet: Sequence[DeviceSpec],
+        key: str,
+        arms: Sequence[ArmSpec],
+        adapter: FleetAdapter,
+        classes: Sequence[str],
+        states: List[dict],
+        alerts: AlertHub,
+        kill_shard: Optional[int],
+        kill_after_events: Optional[int],
+        heartbeat_interval: float,
+        stale_after: float,
+        metrics_port: Optional[int],
+        metrics_sink: Optional[List[MetricsServer]],
+    ) -> DistributedOutcome:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise RuntimeError(
+                "distributed mode=process needs the fork start method; "
+                "use mode='local' on this platform"
+            ) from exc
+        handles: List[_ShardHandle] = []
+        for state in states:
+            spec: ShardSpec = state["spec"]
+            payload = self._worker_payload(
+                state,
+                arms,
+                kill_after_events if kill_shard == spec.index else None,
+                heartbeat_interval,
+            )
+            parent_sock, child_sock = socket.socketpair()
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(child_sock, payload),
+                name=f"repro-shard-{spec.index}",
+                daemon=True,
+            )
+            process.start()
+            child_sock.close()
+            handles.append(
+                _ShardHandle(spec, FrameConn(parent_sock), process)
+            )
+        router = ShardRouter(
+            handles, alerts, stale_after=stale_after,
+            check_interval=min(stale_after / 4, 0.2),
+        )
+        metrics_server: Optional[MetricsServer] = None
+        if metrics_port is not None:
+            metrics_server = MetricsServer(
+                router.metrics_text, port=metrics_port
+            ).start()
+            if metrics_sink is not None:
+                metrics_sink.append(metrics_server)
+        active_members = [
+            member
+            for state in states
+            for member in self._active_members(fleet, state, arms)
+        ]
+        stats: Dict[str, float] = {}
+
+        async def drive() -> None:
+            router.start()
+            t0 = time.perf_counter()
+            clients = [
+                asyncio.ensure_future(
+                    self._remote_client(router, adapter, member)
+                )
+                for member in active_members
+            ]
+            await asyncio.gather(*clients)
+            stats["clients_wall_seconds"] = time.perf_counter() - t0
+            t1 = time.perf_counter()
+            await router.wait_done()
+            stats["drain_wall_seconds"] = time.perf_counter() - t1
+            stats["wall_seconds"] = time.perf_counter() - t0
+            await router.close()
+
+        try:
+            asyncio.run(drive())
+        finally:
+            for handle in handles:
+                if handle.process is not None:
+                    handle.process.join(timeout=10)
+        stats["heartbeats"] = float(
+            sum(handle.heartbeat_count for handle in handles)
+        )
+        results: List[Optional[ShardResult]] = []
+        killed_shards: List[int] = []
+        parent = telemetry.active()
+        for handle, state in zip(handles, states):
+            frame = handle.done_frame
+            if frame is None:
+                killed_shards.append(handle.spec.index)
+                results.append(None)
+                continue
+            counters = dict(frame.get("counters", {}))
+            if parent is not None:
+                parent.merge_counters(counters)
+            results.append(
+                ShardResult(
+                    spec=handle.spec,
+                    log_jsonl=frame["log"],
+                    belief=FleetBelief.from_snapshot(frame["belief"]),
+                    digest=frame["digest"],
+                    tick=int(frame["tick"]),
+                    events=int(frame["events"]),
+                    counters=counters,
+                    tick_walls=[float(x) for x in frame["tick_walls"]],
+                    resumed=state["resumed"],
+                )
+            )
+        # Snapshot /metrics after the worker counter merge so the
+        # outcome (and any lingering endpoint) shows fleet totals.
+        metrics_text = router.metrics_text()
+        if metrics_server is not None and metrics_sink is None:
+            metrics_server.stop()
+        return self._finalize(
+            fleet, key, arms, classes, states, results, alerts,
+            killed_shards, stats=stats, metrics_text=metrics_text,
+        )
+
+    def _active_members(
+        self,
+        fleet: Sequence[DeviceSpec],
+        state: dict,
+        arms: Sequence[ArmSpec],
+    ) -> List[DeviceSpec]:
+        """A shard's devices that still need a client (not done under
+        the shard's — possibly resumed — belief), in device order."""
+        spec: ShardSpec = state["spec"]
+        belief: FleetBelief = state["belief"]
+        by_index = {member.index: member for member in fleet}
+        return [
+            by_index[index]
+            for index in range(spec.lo, spec.hi)
+            if not belief.device_done(by_index[index].device_id, arms)
+        ]
+
+    async def _remote_client(
+        self,
+        router: ShardRouter,
+        adapter: FleetAdapter,
+        spec: DeviceSpec,
+    ) -> None:
+        while True:
+            dispatch = await router.request_plan(
+                spec.device_id, spec.index
+            )
+            if dispatch is None:
+                return
+            result = adapter.execute(spec, dispatch)
+            while True:
+                try:
+                    await router.submit_result(result)
+                    break
+                except RetryAfter:
+                    await asyncio.sleep(0)
+
+    # -- merge + report -------------------------------------------------
+    def _finalize(
+        self,
+        fleet: Sequence[DeviceSpec],
+        key: str,
+        arms: Sequence[ArmSpec],
+        classes: Sequence[str],
+        states: List[dict],
+        results: List[Optional[ShardResult]],
+        alerts: AlertHub,
+        killed_shards: List[int],
+        stats: Dict[str, float],
+        metrics_text: str,
+    ) -> DistributedOutcome:
+        resumed_shards = [
+            state["spec"].index for state in states if state["resumed"]
+        ]
+        complete = [result for result in results if result is not None]
+        merged = report = None
+        merged_digest = fold_digest = None
+        if not killed_shards and complete:
+            merged = FleetBelief.merge(
+                [result.belief for result in complete]
+            )
+            merged_digest = merged.digest()
+            if not resumed_shards:
+                # Merge-exactness referee: a single process folding the
+                # concatenated (shard, seq) event stream must hold the
+                # identical state.  Only meaningful when every shard
+                # logged from tick 0 — a resumed shard's log starts at
+                # its checkpoint, so the fold would be partial by
+                # construction, not divergent.
+                records: List[dict] = []
+                for result in complete:
+                    records.extend(
+                        json.loads(line)
+                        for line in result.log_jsonl.splitlines()
+                        if line.strip()
+                    )
+                fold = fold_event_stream(
+                    fleet, classes, self.session.scheduler, arms, records
+                )
+                fold_digest = fold.digest()
+                if fold_digest != merged_digest:
+                    alerts.fire(
+                        "belief-divergence",
+                        merged=merged_digest,
+                        folded=fold_digest,
+                    )
+            report = ScheduleReport.from_state(
+                self.session.unit,
+                self.session.scheduler.policy,
+                self.session.scheduler.policy_seed,
+                fleet,
+                merged,
+                ticks=sum(result.tick for result in complete),
+                events=sum(result.events for result in complete),
+            )
+        all_walls = [
+            wall for result in complete for wall in result.tick_walls
+        ]
+        if all_walls:
+            ordered = sorted(all_walls)
+            stats["p99_tick_wall_seconds"] = ordered[
+                min(len(ordered) - 1, int(0.99 * len(ordered)))
+            ]
+        total_events = sum(result.events for result in complete)
+        wall = stats.get("wall_seconds")
+        if wall:
+            stats["events_per_second"] = total_events / wall
+        return DistributedOutcome(
+            session_key=key,
+            fleet=list(fleet),
+            shards=results,
+            report=report,
+            belief=merged,
+            merged_digest=merged_digest,
+            fold_digest=fold_digest,
+            alerts=list(alerts.alerts),
+            metrics_text=metrics_text,
+            killed_shards=killed_shards,
+            resumed_shards=resumed_shards,
+            stats=stats,
+        )

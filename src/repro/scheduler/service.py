@@ -49,7 +49,15 @@ import io
 import json
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Awaitable,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core import telemetry
 from ..core.artifacts import ArtifactCache
@@ -126,9 +134,17 @@ class EventLog:
         return out.getvalue()
 
     def write_jsonl(self, path: str) -> None:
-        tmp = f"{path}.tmp"
+        # The tmp name carries the pid: shard workers and the router may
+        # publish logs under the same directory concurrently, and a
+        # shared f"{path}.tmp" would let two writers clobber each
+        # other's half-written file before the rename.  fsync before
+        # os.replace so the atomic rename never publishes an empty or
+        # partially flushed log after a crash.
+        tmp = f"{path}.tmp.{os.getpid()}"
         with open(tmp, "w") as fp:
             fp.write(self.to_jsonl())
+            fp.flush()
+            os.fsync(fp.fileno())
         os.replace(tmp, path)
 
 
@@ -179,6 +195,17 @@ class DetectionService:
         self._draining = False
         self._stopped = False
         self._window = 0
+        #: Lockstep mode only: device ids of clients still enrolled
+        #: (never yet answered "retire"), built lazily on first plan.
+        self._live_clients: Optional[set] = None
+        #: Optional async callable awaited when a scheduler pass makes
+        #: no progress (default: one cooperative ``asyncio.sleep(0)``
+        #: pass).  The distributed shard worker parks here on its
+        #: "frame arrived" event instead of spinning on the socket.
+        #: In lockstep mode idle passes never mutate state (the batch
+        #: window cannot expire), so the wait strategy cannot change
+        #: the trajectory.
+        self.idle_wait: Optional[Callable[[], Awaitable[None]]] = None
 
     # -- client API ----------------------------------------------------
     async def request_plan(
@@ -189,6 +216,14 @@ class DetectionService:
         The request parks until the batch it lands in is planned.
         """
         if self._draining or self._stopped:
+            # A drained client retires exactly like one the planner
+            # retires: with a logged ``retire`` event.  The two paths
+            # used to be asymmetric (the planner logged, this early
+            # return did not), so drain accounting depended on *where*
+            # a client happened to be when shutdown began.  A stopped
+            # (killed or fully drained) service keeps its log closed.
+            if self._draining and not self._stopped:
+                self._log_retire(device_id)
             return None
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._waiters.append(
@@ -217,16 +252,24 @@ class DetectionService:
 
         The backlog drains in batch-sized planning rounds, so a deeper
         buffer means proportionally more passes before a retried
-        submit can land; while a partial batch is still inside its
-        grace window the next drain is additionally deferred by the
-        window's remaining passes.  Monotone non-decreasing in queue
-        occupancy, so a saturated fleet's clients spread their retries
-        instead of hammering every tick.
+        submit can land.  On top of that the next drain is deferred by
+        whichever is pending: the in-flight batch (its remaining
+        results must stream in and ingest before the next plan) or,
+        with nothing outstanding, a partial batch's remaining grace
+        window.  Monotone non-decreasing in queue occupancy, so a
+        saturated fleet's clients spread their retries instead of
+        hammering every tick.
         """
         batch = max(1, self.config.batch_size)
         backlog_passes = -(-len(self._buffer) // batch)  # ceil
-        deadline = 0
-        if not self._outstanding:
+        if self._outstanding:
+            # Results still in flight: they land in the buffer and
+            # ingest batch-wise before capacity frees for a retried
+            # submit, so the hint must cover their drain too — the old
+            # hint ignored them and saturated clients re-collided on
+            # the very next pass.
+            deadline = -(-len(self._outstanding) // batch)
+        else:
             deadline = max(0, self.config.batch_window - self._window)
         return max(1, backlog_passes + deadline)
 
@@ -244,7 +287,10 @@ class DetectionService:
                     break
                 if not progressed:
                     # Yield so clients can enqueue requests/results.
-                    await asyncio.sleep(0)
+                    if self.idle_wait is not None:
+                        await self.idle_wait()
+                    else:
+                        await asyncio.sleep(0)
         except ServiceKilled:
             # Simulated hard kill: leave belief/log state as-is (the
             # periodic checkpoints are the only survivors), but release
@@ -272,15 +318,30 @@ class DetectionService:
         """One scheduler pass: ingest, then maybe plan.  Returns
         whether any state advanced."""
         progressed = False
-        if self._buffer:
+        if self._buffer and self._ingest_ready():
             self._ingest()
             progressed = True
         if not self._outstanding and not self._buffer and not self._draining:
             progressed = self._maybe_plan() or progressed
         elif self._draining and not self._outstanding and not self._buffer:
-            self._retire_waiters()
+            self._retire_waiters(log=True)
             progressed = True
         return progressed
+
+    def _ingest_ready(self) -> bool:
+        """Whether the buffered results may fold in on this pass.
+
+        The default service ingests whatever is buffered, so the event
+        log's within-tick record order follows the submit interleaving
+        — deterministic for in-loop clients, racy for remote ones.  In
+        ``lockstep`` mode (the distributed shard contract) ingestion
+        waits for the in-flight batch to return *completely*; the batch
+        then folds in sorted by device index, making the trajectory
+        independent of frame arrival order on the wire.
+        """
+        if not self.config.lockstep:
+            return True
+        return len(self._buffer) >= len(self._outstanding)
 
     # -- ingestion -----------------------------------------------------
     def _ingest(self) -> None:
@@ -327,6 +388,26 @@ class DetectionService:
             raise KeyError(f"unknown arm {name!r}") from None
 
     # -- planning ------------------------------------------------------
+    def _lockstep_target(self) -> int:
+        """Clients still enrolled (never yet answered "retire").
+
+        The lockstep batch closes only once *every* enrolled client's
+        request has arrived, so the close-time waiter set — and with
+        it retire ordering and batch composition — is a pure function
+        of the trajectory, never of frame arrival timing.
+        """
+        if self._live_clients is None:
+            self._live_clients = {
+                device_id
+                for device_id in self.belief.devices
+                if not self.belief.device_done(device_id, self.arms)
+            }
+        return len(self._live_clients)
+
+    def _drop_client(self, device_id: str) -> None:
+        if self._live_clients is not None:
+            self._live_clients.discard(device_id)
+
     def _maybe_plan(self) -> bool:
         pending = [
             (request, future)
@@ -335,25 +416,29 @@ class DetectionService:
         ]
         if not pending:
             return False
+        if self.config.lockstep:
+            if len(pending) < self._lockstep_target():
+                return False
+            # Close with the full client set, in device order — the
+            # scan order (and so the retire-event order) cannot depend
+            # on how requests interleaved on the wire.
+            pending.sort(key=lambda item: item[0].device_index)
         live: List[Tuple[PlanRequest, asyncio.Future]] = []
         for request, future in pending:
             if self.belief.device_done(request.device_id, self.arms):
                 future.set_result(None)
-                self.log.event(
-                    "retire",
-                    self.tick,
-                    device=request.device_id,
-                    detected=self.belief.devices[request.device_id].detected,
-                )
+                self._drop_client(request.device_id)
+                self._log_retire(request.device_id)
             else:
                 live.append((request, future))
         self._waiters = list(live)
         if not live:
             return True
-        target = min(self.config.batch_size, self._active_devices())
-        if len(live) < target and self._window < self.config.batch_window:
-            self._window += 1
-            return False
+        if not self.config.lockstep:
+            target = min(self.config.batch_size, self._active_devices())
+            if len(live) < target and self._window < self.config.batch_window:
+                self._window += 1
+                return False
         self._window = 0
         live.sort(key=lambda item: item[0].device_index)
         batch = live[: self.config.batch_size]
@@ -370,10 +455,8 @@ class DetectionService:
             dispatch = by_device.get(request.device_id)
             if dispatch is None:
                 future.set_result(None)
-                self.log.event(
-                    "retire", self.tick, device=request.device_id,
-                    detected=self.belief.devices[request.device_id].detected,
-                )
+                self._drop_client(request.device_id)
+                self._log_retire(request.device_id)
                 continue
             self.belief.record_dispatch(
                 request.device_id, self._arm_by_name(dispatch.arm)
@@ -395,9 +478,30 @@ class DetectionService:
     def _active_devices(self) -> int:
         return self.belief.active_count(self.arms)
 
-    def _retire_waiters(self) -> None:
+    def _log_retire(self, device_id: str) -> None:
+        """One canonical ``retire`` record, shared by every path that
+        sends a client home (planner, drain, early drain return)."""
+        device = self.belief.devices.get(device_id)
+        self.log.event(
+            "retire",
+            self.tick,
+            device=device_id,
+            detected=device.detected if device is not None else False,
+        )
+
+    def _retire_waiters(self, log: bool = False) -> None:
+        """Resolve every parked client with "no more work".
+
+        ``log=True`` on the graceful-drain path records a ``retire``
+        event per resolved client — the same accounting the planner
+        gives retired devices — so drained and planner-retired clients
+        are logged identically.  The kill path leaves ``log=False``:
+        a dead service's log is abandoned, only checkpoints survive.
+        """
         for request, future in self._waiters:
             if not future.done():
+                if log:
+                    self._log_retire(request.device_id)
                 future.set_result(None)
         self._waiters = []
 
@@ -445,11 +549,3 @@ class DetectionService:
             belief=self.belief.digest(),
         )
         self._stopped = True
-
-
-def dispatch_arm(arms: Sequence[ArmSpec], name: str) -> ArmSpec:
-    """Resolve an arm name against a catalogue."""
-    for arm in arms:
-        if arm.name == name:
-            return arm
-    raise KeyError(f"unknown arm {name!r}")

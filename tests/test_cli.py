@@ -289,6 +289,54 @@ class TestSchedulerCli:
         assert "service drained" in text
         assert "resumed from belief checkpoint" in text
 
+    @pytest.mark.skipif(
+        not hasattr(__import__("os"), "fork"),
+        reason="multi-process shards need os.fork",
+    )
+    def test_serve_distributed_kill_resume_and_digest(self, tmp_path):
+        argv = [
+            "serve",
+            "--unit", "alu",
+            "--devices", "4",
+            "--onset-years", "6",
+            "--shards", "2",
+            # Generous staleness threshold: a loaded CI box must not
+            # trip stall alerts during a healthy smoke run.
+            "--stale-after", "30",
+        ]
+        clean_cache = str(tmp_path / "clean")
+        code, text = _run(argv + ["--cache-dir", clean_cache])
+        assert code == 0
+        assert "distributed service drained" in text
+        assert "event-stream fold digest matches: yes" in text
+        digest_line = next(
+            line for line in text.splitlines()
+            if "merged belief digest:" in line
+        )
+
+        cache = str(tmp_path / "drill")
+        code, text = _run(
+            argv + ["--cache-dir", cache, "--kill-shard", "1",
+                    "--kill-after", "2"]
+        )
+        assert code == 0
+        assert "shard 1: KILLED" in text
+
+        code, text = _run(argv + ["--cache-dir", cache, "--resume"])
+        assert code == 0
+        assert "distributed service drained" in text
+        # Resumed shards log only post-checkpoint events; the fold
+        # referee is skipped, never reported as divergence.
+        assert "skipped (resumed from checkpoints)" in text
+        assert "DIVERGED" not in text
+        assert digest_line in text
+
+    def test_serve_kill_shard_requires_shards(self):
+        code, _ = _run(
+            ["serve", "--unit", "alu", "--kill-shard", "0"]
+        )
+        assert code == 2
+
     def test_unknown_policy_rejected(self):
         code, _ = _run(
             ["schedule", "--unit", "alu", "--policy", "nonesuch"]
