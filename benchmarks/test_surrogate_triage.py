@@ -1,0 +1,193 @@
+"""Surrogate-triage campaign vs the exact packed pipeline.
+
+The aging surrogate exists to amortize the exact per-device pipeline
+(charlib characterization + aging STA onset scan) across a fleet: the
+ridge model scores every sampled device in microseconds, the cleared
+cohort never touches the exact pipeline, and only the predicted-risky
+tail is re-analyzed exactly and run through the campaign engine.
+
+This benchmark trains the surrogate on a 96-row labeled sweep of the
+ALU (fails closed below the 0.95 held-out recall floor), then times
+one fleet through two paths:
+
+* **exact**: every device pays the exact oracle onset scan, then the
+  packed campaign engine runs the whole fleet;
+* **triage**: the surrogate clears the safe cohort; only the flagged
+  tail pays the oracle and the engine.
+
+Acceptance (non-smoke): triage is at least 3x the exact path in
+devices/sec, risky-tail recall over the fleet's true (exact) onsets is
+at least 0.95, and the tail's report rows are byte-identical to the
+corresponding rows of the exact campaign — the speedup is never
+allowed to change a flagged device's verdict.
+
+``VEGA_SMOKE=1`` shrinks the fleet and relaxes the speedup floor so CI
+can exercise every path quickly; recall and byte-identity still hold
+exactly.
+"""
+
+import json
+import os
+import time
+
+from repro.campaign import CampaignEngine
+from repro.core.config import CampaignConfig, SurrogateConfig
+from repro.netlist.cells import VEGA28
+from repro.surrogate import (
+    generate_dataset,
+    profiled_fleet,
+    run_surrogate_campaign,
+    train_surrogate,
+)
+
+SMOKE = os.environ.get("VEGA_SMOKE") == "1"
+DEVICES = 16 if SMOKE else 64
+MIN_SPEEDUP = 1.2 if SMOKE else 3.0
+RECALL_FLOOR = 0.95
+
+SURROGATE = SurrogateConfig(workers=2)
+CONFIG = CampaignConfig(
+    devices=DEVICES,
+    seed=2024,
+    shard_size=8,
+    suites=("vega",),
+    base_onset_years=6.0,
+)
+
+
+def test_surrogate_triage(ctx, benchmark, recorder):
+    unit = ctx.alu
+    library = unit.suite(False)
+    models = unit.failure_models()
+
+    train_start = time.perf_counter()
+    dataset = generate_dataset(
+        unit.netlist, VEGA28, unit.sp_profile, SURROGATE
+    )
+    model, validation = train_surrogate(dataset, SURROGATE)
+    train_time = time.perf_counter() - train_start
+
+    def exact_path():
+        fleet = profiled_fleet(
+            unit.netlist, VEGA28, unit.sp_profile, models,
+            CONFIG, SURROGATE,
+        )
+        report = CampaignEngine(
+            unit.netlist, "alu", library, models,
+            config=CONFIG,
+            base_onset_years=CONFIG.base_onset_years,
+            fleet=fleet,
+        ).run()
+        return fleet, report
+
+    def triage_path():
+        return run_surrogate_campaign(
+            unit.netlist, "alu", library, VEGA28, unit.sp_profile,
+            models, model,
+            config=CONFIG, surrogate=SURROGATE,
+            base_onset_years=CONFIG.base_onset_years,
+        )
+
+    triage_path()  # warm compile / assembly / netlist caches
+
+    start = time.perf_counter()
+    exact_fleet, exact_report = exact_path()
+    exact_time = time.perf_counter() - start
+    start = time.perf_counter()
+    outcome, tail_report = triage_path()
+    triage_time = time.perf_counter() - start
+
+    # Correctness first: the flagged devices' report rows must equal
+    # the exact campaign's byte for byte, and every truly risky device
+    # (exact onset inside the mission window) must be in the tail.
+    flagged_ids = {d.device_id for d in outcome.flagged}
+    exact_rows = [
+        row for row in exact_report.device_rows
+        if row["device"] in flagged_ids
+    ]
+    assert (
+        json.dumps(exact_rows, sort_keys=True)
+        == json.dumps(tail_report.device_rows, sort_keys=True)
+    ), "triage tail rows diverged from the exact campaign"
+
+    risky = [
+        spec for spec in exact_fleet
+        if spec.onset_years <= CONFIG.mission_years
+    ]
+    caught = [s for s in risky if s.device_id in flagged_ids]
+    recall = len(caught) / len(risky) if risky else 1.0
+    speedup = exact_time / triage_time
+
+    rows = [
+        f"ALU surrogate triage: {DEVICES}-device fleet, "
+        f"{len(dataset.rows)}-row sweep"
+        + (" [smoke]" if SMOKE else ""),
+        f"training: sweep+fit+calibrate in {train_time:.1f}s, held-out "
+        f"recall {validation.recall:.3f} (floor {RECALL_FLOOR})",
+        "path              | wall (s) | devices/s | speedup",
+    ]
+    for path_name, label, wall in (
+        ("exact_packed", "exact packed", exact_time),
+        ("surrogate_triage", "surrogate triage", triage_time),
+    ):
+        rows.append(
+            f"{label:17s} | {wall:8.3f} | {DEVICES / wall:9.1f} "
+            f"| {exact_time / wall:6.2f}x"
+        )
+        recorder.sample(
+            "surrogate_triage", "wall_time", wall, "seconds",
+            path=path_name, devices=DEVICES, seed=CONFIG.seed,
+            timing=True,
+        )
+        recorder.sample(
+            "surrogate_triage", "devices_per_second", DEVICES / wall,
+            "devices/s", path=path_name, devices=DEVICES,
+            seed=CONFIG.seed, timing=True, bigger_is_better=True,
+        )
+    rows += [
+        f"cleared {len(outcome.cleared)} / flagged {len(outcome.flagged)} "
+        f"of {DEVICES} (threshold {outcome.threshold:.2f}y)",
+        f"fleet risky-tail recall: {recall:.3f} "
+        f"({len(caught)}/{len(risky)} risky devices flagged)",
+        "tail rows byte-identical to exact campaign: yes",
+    ]
+    recorder.sample(
+        "surrogate_triage", "speedup_vs_exact", speedup, "ratio",
+        devices=DEVICES, seed=CONFIG.seed, timing=True,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "surrogate_triage", "risky_tail_recall", recall, "ratio",
+        devices=DEVICES, seed=CONFIG.seed, bigger_is_better=True,
+    )
+    recorder.sample(
+        "surrogate_triage", "holdout_recall", validation.recall,
+        "ratio", sweep_rows=len(dataset.rows), seed=SURROGATE.seed,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "surrogate_triage", "devices_cleared", len(outcome.cleared),
+        "devices", devices=DEVICES, seed=CONFIG.seed,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "surrogate_triage", "devices_flagged", len(outcome.flagged),
+        "devices", devices=DEVICES, seed=CONFIG.seed,
+    )
+    recorder.sample(
+        "surrogate_triage", "sweep_rows", len(dataset.rows), "rows",
+        seed=SURROGATE.seed, bigger_is_better=True,
+    )
+    recorder.table("surrogate_triage", "\n".join(rows))
+
+    assert recall >= RECALL_FLOOR, (
+        f"fleet risky-tail recall {recall:.3f} below {RECALL_FLOOR}: "
+        f"a cleared device would have violated in the field"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"surrogate triage only {speedup:.2f}x the exact packed path "
+        f"(floor {MIN_SPEEDUP}x)"
+    )
+
+    outcome = benchmark(triage_path)
+    assert len(outcome[0].devices) == DEVICES

@@ -20,6 +20,7 @@ committed, diffed, and content-addressed.
 
 from .compare import (
     VOLATILE_KEYS,
+    BenchCompareError,
     ComparisonResult,
     Finding,
     compare_documents,
@@ -37,6 +38,7 @@ from .sample import (
 
 __all__ = [
     "BENCH_SCHEMA",
+    "BenchCompareError",
     "BenchRecorder",
     "ComparisonResult",
     "Finding",

@@ -28,6 +28,15 @@ from .sample import Sample, document_samples, parse_document
 VOLATILE_KEYS = frozenset({"git_rev", "timestamp", "cpus", "hostname"})
 
 
+class BenchCompareError(ValueError):
+    """A comparison could not even start (missing file, bad schema).
+
+    The message names the offending document (baseline vs candidate),
+    its path, and what to do about it — the CLI prints it verbatim, so
+    a CI failure reads as an instruction rather than a traceback.
+    """
+
+
 def identity(sample: Sample) -> Tuple:
     """Cross-run identity of a sample: metric + stable metadata."""
     stable = tuple(
@@ -172,14 +181,51 @@ def _judge(
     )
 
 
+_REMEDY = {
+    "baseline": (
+        "re-record the benchmark and commit the refreshed baseline "
+        "under benchmarks/baselines/"
+    ),
+    "candidate": (
+        "run the benchmark suite first (pytest benchmarks/) to "
+        "produce it"
+    ),
+}
+
+
+def _read_document(role: str, path: str | pathlib.Path) -> Mapping:
+    """Read + parse one document, or raise an actionable error."""
+    path = pathlib.Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise BenchCompareError(
+            f"{role} benchmark document {path} cannot be read "
+            f"({exc.strerror or exc}); {_REMEDY[role]}"
+        ) from exc
+    try:
+        return parse_document(text)
+    except ValueError as exc:
+        raise BenchCompareError(
+            f"{role} benchmark document {path} is not comparable: "
+            f"{exc}; {_REMEDY[role]}"
+        ) from exc
+
+
 def compare_files(
     baseline_path: str | pathlib.Path,
     candidate_path: str | pathlib.Path,
     threshold_pct: float = 10.0,
     timing_warn_only: bool = False,
 ) -> ComparisonResult:
-    baseline = parse_document(pathlib.Path(baseline_path).read_text())
-    candidate = parse_document(pathlib.Path(candidate_path).read_text())
+    """Compare two documents on disk.
+
+    Raises :class:`BenchCompareError` — naming the role, the path, and
+    the remedy — when either file is missing, unreadable, or carries an
+    incompatible schema.
+    """
+    baseline = _read_document("baseline", baseline_path)
+    candidate = _read_document("candidate", candidate_path)
     return compare_documents(
         baseline, candidate, threshold_pct, timing_warn_only
     )

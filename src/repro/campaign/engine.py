@@ -394,6 +394,7 @@ class CampaignEngine:
         config: Optional[CampaignConfig] = None,
         cache: Optional[ArtifactCache] = None,
         base_onset_years: Optional[float] = None,
+        fleet: Optional[Sequence[DeviceSpec]] = None,
     ):
         self.netlist = netlist
         self.unit = unit
@@ -401,6 +402,11 @@ class CampaignEngine:
         self.failing_models = list(failing_models)
         self.config = config or CampaignConfig()
         self.cache = cache
+        #: Explicit fleet override.  ``None`` (the default) samples the
+        #: onset-draw fleet from the config; the surrogate-triage path
+        #: passes its exactly-analyzed device specs instead, so the
+        #: execution/checkpoint/report machinery is shared unchanged.
+        self.fleet = list(fleet) if fleet is not None else None
         if base_onset_years is None:
             base_onset_years = self.config.base_onset_years
         if base_onset_years is None:
@@ -537,8 +543,12 @@ class CampaignEngine:
         of re-executing them.
         """
         config = self.config
-        fleet = sample_fleet(
-            config, self.failing_models, self.base_onset_years
+        fleet = (
+            self.fleet
+            if self.fleet is not None
+            else sample_fleet(
+                config, self.failing_models, self.base_onset_years
+            )
         )
         shards = [
             fleet[start : start + config.shard_size]

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..aging.corners import TYPICAL_CORNER, WORST_CORNER, OperatingCorner
 from ..core.config import CampaignConfig
@@ -82,6 +82,25 @@ def _corner_acceleration(corner: OperatingCorner) -> float:
     return corner.scale_max_delay(1.0)
 
 
+def assign_model(
+    rng: random.Random,
+    models: Sequence[FailureModel],
+    onset_years: float,
+    mission_years: float,
+) -> Tuple[bool, Optional[FailureModel]]:
+    """Shared faulty/model draw for every fleet sampler.
+
+    A device whose onset lands inside the mission window is faulty and
+    carries one model drawn from the catalogue; the draw consumes the
+    device stream only when faulty, so samplers that learn the onset
+    late (the surrogate's exact per-device oracle) make byte-identical
+    choices to ones that draw it up front.
+    """
+    faulty = bool(models) and onset_years <= mission_years
+    model = rng.choice(list(models)) if faulty else None
+    return faulty, model
+
+
 def sample_fleet(
     config: CampaignConfig,
     failing_models: Sequence[FailureModel],
@@ -109,8 +128,9 @@ def sample_fleet(
             * rng.lognormvariate(0.0, config.onset_sigma)
             / _corner_acceleration(corner)
         )
-        faulty = bool(models) and onset <= config.mission_years
-        model = rng.choice(models) if faulty else None
+        faulty, model = assign_model(
+            rng, models, onset, config.mission_years
+        )
         fleet.append(
             DeviceSpec(
                 index=index,

@@ -192,6 +192,73 @@ class CampaignConfig:
     #: for any pack width, so neither knob enters the campaign key).
     packed: bool = True
     pack_width: int = 64
+    #: Surrogate-triage mode (``repro.surrogate.triage``): score every
+    #: sampled device with the trained aging surrogate and hand only
+    #: the predicted-risky tail to the exact per-device pipeline.  The
+    #: tail is re-verified exactly, so flagged devices' report rows are
+    #: byte-identical to the all-exact profiled campaign.
+    surrogate_triage: bool = False
+    #: Path of the trained surrogate snapshot the triage mode loads
+    #: (``None``: the caller passes a model object directly).
+    surrogate_model: Optional[str] = None
+
+
+@dataclass
+class SurrogateConfig:
+    """ML aging surrogate (``repro.surrogate``).
+
+    The surrogate learns (workload SP profile, corner, age) ->
+    (violation onset, worst slack) from labeled pairs generated by the
+    exact charlib+STA pipeline, then triages sampled fleets so only
+    the predicted-risky tail pays for exact analysis.
+
+    Attributes:
+        samples: Training-sweep size (labeled rows generated).
+        seed: Seed for the ``surrogate.*`` RNG streams (sample draws,
+            per-net workload noise, train/holdout split).
+        level_buckets: Logic-depth buckets in the SP feature vector
+            (:meth:`repro.sim.probes.SPProfile.feature_vector`).
+        skew_min / skew_max: Workload skew-intensity range.  Positive
+            intensity pushes SPs toward 0 (the maximally BTI-stressed
+            state for ``stress_state == 0`` cells), negative toward 1
+            (de-stress); the sampled fleet draws intensities uniformly
+            from this range.
+        noise: Per-net spread of the skew weights (each net's skew is
+            scaled by ``1 - noise * u`` with per-net uniform ``u``), so
+            two devices at the same intensity still have distinct
+            profiles.
+        age_grid: Ages (years) the exact oracle sweeps when labeling
+            onset; also the resolution of exact per-device onsets.
+        censor_factor: Onset label assigned to devices that never
+            violate inside the grid horizon, as a multiple of the last
+            grid age (right-censored regression target).
+        holdout_fraction: Fraction of the dataset held out from
+            training for validation.
+        ridge_lambda: L2 regularization of the numpy ridge regressor.
+        recall_floor: Minimum risky-tail recall on the held-out rows;
+            validation fails closed below it.
+        threshold_margin: Relative safety margin added to the
+            calibrated triage threshold (flag if predicted onset <=
+            threshold * (1 + margin)).
+        workers: Fork workers for dataset generation; 0 = one per CPU.
+            Datasets are byte-identical for any worker count.
+    """
+
+    samples: int = 96
+    seed: int = 7
+    level_buckets: int = 8
+    skew_min: float = -1.2
+    skew_max: float = 0.2
+    noise: float = 0.5
+    age_grid: Tuple[float, ...] = tuple(
+        round(1.0 + 0.5 * i, 6) for i in range(31)
+    )
+    censor_factor: float = 1.5
+    holdout_fraction: float = 0.25
+    ridge_lambda: float = 1e-2
+    recall_floor: float = 0.95
+    threshold_margin: float = 0.25
+    workers: int = 1
 
 
 @dataclass
@@ -273,6 +340,7 @@ class VegaConfig:
     )
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
     cache_dir: Optional[str] = None
 
     def with_mitigation(self, enabled: bool = True) -> "VegaConfig":

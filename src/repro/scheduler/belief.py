@@ -174,7 +174,10 @@ class _BeliefArrays:
         for i, device in enumerate(order):
             for label, col in self.class_col.items():
                 alpha, beta = device.posteriors.get(
-                    label, belief._prior_for(device.corner, label)
+                    label,
+                    belief._prior_for(
+                        device.corner, label, device.device_id
+                    ),
                 )
                 self.ab[i, col, 0] = alpha
                 self.ab[i, col, 1] = beta
@@ -294,11 +297,23 @@ class FleetBelief:
         classes: Sequence[str],
         cycle_budget: int,
         fleet_blend: float = 0.5,
+        device_prior: Optional[
+            Dict[str, Dict[str, Tuple[float, float]]]
+        ] = None,
     ):
         self.classes = list(classes)
         self.cycle_budget = int(cycle_budget)
         self.fleet_blend = float(fleet_blend)
         self.prior = fleet_prior(fleet, self.classes)
+        #: Optional per-device (alpha, beta) tables overriding the
+        #: corner prior — e.g. the aging surrogate's predicted-onset
+        #: priors (:func:`repro.surrogate.triage.surrogate_device_prior`).
+        #: Kept out of snapshots when empty so existing digests are
+        #: unchanged.
+        self.device_prior: Dict[str, Dict[str, Tuple[float, float]]] = {
+            device_id: {label: (float(a), float(b)) for label, (a, b) in table.items()}
+            for device_id, table in (device_prior or {}).items()
+        }
         #: class -> [alpha, beta] *deltas* accumulated fleet-wide (the
         #: prior is per-corner, so fleet evidence is kept separate and
         #: blended in at scoring time).
@@ -316,7 +331,13 @@ class FleetBelief:
         self._arrays: Optional[_BeliefArrays] = None
 
     # -- posterior access ----------------------------------------------
-    def _prior_for(self, corner: str, label: str) -> Tuple[float, float]:
+    def _prior_for(
+        self, corner: str, label: str, device_id: Optional[str] = None
+    ) -> Tuple[float, float]:
+        if device_id is not None:
+            table = self.device_prior.get(device_id)
+            if table is not None and label in table:
+                return table[label]
         table = self.prior.get(corner)
         if table is None:
             # Unknown corner (never sampled): neutral Jeffreys prior.
@@ -328,7 +349,9 @@ class FleetBelief:
     ) -> List[float]:
         posterior = device.posteriors.get(label)
         if posterior is None:
-            alpha, beta = self._prior_for(device.corner, label)
+            alpha, beta = self._prior_for(
+                device.corner, label, device.device_id
+            )
             posterior = [alpha, beta]
             device.posteriors[label] = posterior
         return posterior
@@ -338,7 +361,7 @@ class FleetBelief:
         fleet evidence.  Pure read — never materializes state."""
         device = self.devices[device_id]
         alpha, beta = device.posteriors.get(
-            label, self._prior_for(device.corner, label)
+            label, self._prior_for(device.corner, label, device_id)
         )
         fleet = self.fleet_posteriors.get(label)
         if fleet is not None and self.fleet_blend > 0:
@@ -470,7 +493,9 @@ class FleetBelief:
         """
         evidence: Dict[str, Tuple[float, float]] = {}
         for label, (alpha, beta) in device.posteriors.items():
-            prior_a, prior_b = self._prior_for(device.corner, label)
+            prior_a, prior_b = self._prior_for(
+                device.corner, label, device.device_id
+            )
             delta_a, delta_b = alpha - prior_a, beta - prior_b
             if delta_a or delta_b:
                 evidence[label] = (delta_a, delta_b)
@@ -505,10 +530,14 @@ class FleetBelief:
             }
             shard.fleet_posteriors = {}
             shard.devices = {}
+            shard.device_prior = {}
             for device in members:
                 shard.devices[device.device_id] = DeviceBelief.from_dict(
                     device.as_dict()
                 )
+                table = self.device_prior.get(device.device_id)
+                if table is not None:
+                    shard.device_prior[device.device_id] = dict(table)
                 for label, (da, db) in self.device_evidence(device).items():
                     total = shard.fleet_posteriors.setdefault(
                         label, [0.0, 0.0]
@@ -549,6 +578,7 @@ class FleetBelief:
         }
         merged.fleet_posteriors = {}
         merged.devices = {}
+        merged.device_prior = {}
         for shard in shards:
             if (
                 shard.classes != merged.classes
@@ -568,6 +598,9 @@ class FleetBelief:
                 merged.devices[device_id] = DeviceBelief.from_dict(
                     device.as_dict()
                 )
+                table = shard.device_prior.get(device_id)
+                if table is not None:
+                    merged.device_prior[device_id] = dict(table)
             for label, (da, db) in shard.fleet_posteriors.items():
                 total = merged.fleet_posteriors.setdefault(
                     label, [0.0, 0.0]
@@ -579,8 +612,13 @@ class FleetBelief:
 
     # -- serialization --------------------------------------------------
     def snapshot(self) -> dict:
-        """Canonical, JSON-ready copy of the full belief state."""
-        return {
+        """Canonical, JSON-ready copy of the full belief state.
+
+        ``device_prior`` appears only when set, so beliefs without
+        per-device priors keep their historical serialization (and
+        digests) byte for byte.
+        """
+        data = {
             "classes": list(self.classes),
             "cycle_budget": self.cycle_budget,
             "fleet_blend": self.fleet_blend,
@@ -597,6 +635,12 @@ class FleetBelief:
                 for device_id, belief in self.devices.items()
             },
         }
+        if self.device_prior:
+            data["device_prior"] = {
+                device_id: {label: list(ab) for label, ab in table.items()}
+                for device_id, table in self.device_prior.items()
+            }
+        return data
 
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), sort_keys=True, indent=2) + "\n"
@@ -621,6 +665,13 @@ class FleetBelief:
         belief.devices = {
             device_id: DeviceBelief.from_dict(entry)
             for device_id, entry in data["devices"].items()
+        }
+        belief.device_prior = {
+            device_id: {
+                label: (float(a), float(b))
+                for label, (a, b) in table.items()
+            }
+            for device_id, table in data.get("device_prior", {}).items()
         }
         belief._arrays = None
         return belief

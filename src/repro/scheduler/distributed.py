@@ -652,14 +652,22 @@ class ShardRouter:
             asyncio.get_running_loop().create_future()
         )
         handle.pending[rid] = future
-        await handle.conn.send(
-            {
-                "op": "plan",
-                "rid": rid,
-                "device": device_id,
-                "index": device_index,
-            }
-        )
+        try:
+            await handle.conn.send(
+                {
+                    "op": "plan",
+                    "rid": rid,
+                    "device": device_id,
+                    "index": device_index,
+                }
+            )
+        except OSError:
+            # The shard died with our write in flight — its reader
+            # hasn't seen EOF yet, so ``handle.dead`` is still False.
+            # Same outcome as a dead shard; the reader fires the
+            # shard-death alert when EOF lands.
+            handle.pending.pop(rid, None)
+            return None
         telemetry.add("scheduler.router.plans")
         frame = await future
         if frame is None:  # shard died with the request in flight
@@ -676,13 +684,19 @@ class ShardRouter:
             asyncio.get_running_loop().create_future()
         )
         handle.pending[rid] = future
-        await handle.conn.send(
-            {
-                "op": "submit",
-                "rid": rid,
-                "result": dataclasses.asdict(result),
-            }
-        )
+        try:
+            await handle.conn.send(
+                {
+                    "op": "submit",
+                    "rid": rid,
+                    "result": dataclasses.asdict(result),
+                }
+            )
+        except OSError:
+            # Write raced the shard's death ahead of the reader's EOF;
+            # drop the result exactly like the ``handle.dead`` branch.
+            handle.pending.pop(rid, None)
+            return
         frame = await future
         if frame is None:
             return

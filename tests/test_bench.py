@@ -307,6 +307,64 @@ class TestBenchCli:
             ["bench", "compare", str(bad), str(good)], out=io.StringIO()
         ) == 2
 
+    def test_compare_missing_baseline_names_role_path_remedy(
+        self, tmp_path, capsys
+    ):
+        missing = tmp_path / "BENCH_gone.json"
+        cand = tmp_path / "cand.json"
+        self._write(cand, Sample("m", 1, "u"))
+        code = main(
+            ["bench", "compare", str(missing), str(cand)],
+            out=io.StringIO(),
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "baseline benchmark document" in err
+        assert str(missing) in err
+        assert "re-record the benchmark" in err
+        assert "Traceback" not in err
+
+    def test_compare_missing_candidate_names_role_path_remedy(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        self._write(base, Sample("m", 1, "u"))
+        missing = tmp_path / "BENCH_never_ran.json"
+        code = main(
+            ["bench", "compare", str(base), str(missing)],
+            out=io.StringIO(),
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "candidate benchmark document" in err
+        assert str(missing) in err
+        assert "pytest benchmarks/" in err
+
+    def test_compare_schema_mismatch_is_actionable(
+        self, tmp_path, capsys
+    ):
+        base = tmp_path / "base.json"
+        base.write_text('{"schema": 99, "benchmark": "x", "samples": []}')
+        cand = tmp_path / "cand.json"
+        self._write(cand, Sample("m", 1, "u"))
+        code = main(
+            ["bench", "compare", str(base), str(cand)],
+            out=io.StringIO(),
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not comparable" in err
+        assert str(base) in err
+        assert "Traceback" not in err
+
+    def test_compare_files_raises_typed_error(self, tmp_path):
+        from repro.bench import BenchCompareError
+
+        cand = tmp_path / "cand.json"
+        self._write(cand, Sample("m", 1, "u"))
+        with pytest.raises(BenchCompareError, match="baseline"):
+            compare_files(tmp_path / "nope.json", cand)
+
     def test_report_renders_markdown(self, tmp_path):
         doc = tmp_path / "BENCH_demo.json"
         self._write(doc, Sample("wall_time", 1.5, "seconds",

@@ -346,3 +346,28 @@ class TestSchedulerCli:
     def test_serve_resume_requires_cache(self):
         code, _ = _run(["serve", "--unit", "alu", "--resume", "--no-cache"])
         assert code == 2
+
+    def test_surrogate_triage_missing_model_exits_2(self, capsys):
+        code, _ = _run(
+            ["surrogate", "triage", "--unit", "alu",
+             "--model", "/nonexistent/model.json"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot load model" in err
+
+    def test_surrogate_validate_rejects_bad_snapshot(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "model.json"
+        bad.write_text('{"schema": 99}')
+        code, _ = _run(
+            ["surrogate", "validate", "--unit", "alu",
+             "--model", str(bad)]
+        )
+        assert code == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_surrogate_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["surrogate"])
