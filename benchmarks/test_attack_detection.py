@@ -1,0 +1,180 @@
+"""Detection lead of Vega vs random on attacker-accelerated fleets.
+
+The adversary engine's headline claim: an attacker who crafts operand
+streams maximizing BTI stress on the ALU's violating cones pulls
+device onsets forward, and — at exactly equal suite budget — the Vega
+suite converts that acceleration into *earlier* detections while the
+random baseline leaves more attacked devices as escapes.
+
+The benchmark runs the full scenario: beam-search the attacker stream,
+materialize the natural fleet and its attack twin (same individuals,
+accelerated onsets), run both through the unchanged campaign engine
+with the ``vega`` and ``random`` suites, and record the per-suite
+detection lead in devices and in years of onset advance.
+
+``VEGA_SMOKE=1`` shrinks the search and the fleet so CI exercises
+every path quickly; the determinism and pairing contracts still hold
+exactly.
+"""
+
+import os
+import time
+
+from repro.adversary import (
+    AttackReport,
+    AttackSearch,
+    sample_attack_fleet,
+)
+from repro.campaign import CampaignEngine
+from repro.campaign.fleet import sample_fleet
+from repro.core.config import AdversaryConfig, CampaignConfig
+
+SMOKE = os.environ.get("VEGA_SMOKE") == "1"
+DEVICES = 6 if SMOKE else 16
+BASE_ONSET = 6.0
+
+SEARCH = AdversaryConfig(
+    seed=99,
+    candidates=4 if SMOKE else 8,
+    rounds=2 if SMOKE else 3,
+    beam=2 if SMOKE else 3,
+    mutations=2 if SMOKE else 4,
+    stream_ops=48 if SMOKE else 192,
+    lanes=16 if SMOKE else 64,
+    workers=2,
+)
+CONFIG = CampaignConfig(
+    devices=DEVICES,
+    seed=2024,
+    shard_size=4,
+    workers=2,
+    suites=("vega", "random"),
+    base_onset_years=BASE_ONSET,
+)
+
+
+def test_attack_detection(ctx, benchmark, recorder):
+    unit = ctx.alu
+    library = unit.suite(False)
+    models = unit.failure_models()
+    pairs = unit.sta_result.report.unique_endpoint_pairs()
+
+    start = time.perf_counter()
+    search = AttackSearch(
+        unit.netlist, "alu", unit.sp_profile, pairs, config=SEARCH
+    )
+    result, _stream = search.run()
+    search_time = time.perf_counter() - start
+
+    natural_fleet = sample_fleet(CONFIG, models, BASE_ONSET)
+    attack_fleet = sample_attack_fleet(
+        CONFIG, models, BASE_ONSET, result.acceleration,
+        attack_seed=SEARCH.seed,
+    )
+
+    def run_fleet(fleet):
+        return CampaignEngine(
+            unit.netlist, "alu", library, models,
+            config=CONFIG, base_onset_years=BASE_ONSET, fleet=fleet,
+        ).run()
+
+    run_fleet(natural_fleet)  # warm compile / assembly caches
+
+    start = time.perf_counter()
+    natural = run_fleet(natural_fleet)
+    attack = run_fleet(attack_fleet)
+    campaign_time = time.perf_counter() - start
+
+    report = AttackReport.from_campaigns(
+        result, natural_fleet, attack_fleet, natural, attack,
+        attack_fraction=1.0, attack_seed=SEARCH.seed,
+        budget_instructions=CONFIG.max_suite_instructions,
+    )
+
+    # Scenario sanity: the attack only ever pulls onsets forward, and
+    # at equal budget no suite detects fewer devices on the attack
+    # fleet than on the natural one.
+    assert result.acceleration >= 1.0
+    assert report.attack["faulty"] >= report.natural["faulty"]
+    assert report.onset_lead_years_mean >= 0.0
+    for suite in report.suites:
+        assert report.detection_lead_devices[suite] >= 0
+
+    recorder.sample(
+        "attack_detection", "stress_ratio", report.stress_ratio,
+        "ratio", seed=SEARCH.seed, devices=DEVICES,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "attack_detection", "acceleration", report.acceleration,
+        "ratio", seed=SEARCH.seed, devices=DEVICES,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "attack_detection", "onset_lead_years_mean",
+        report.onset_lead_years_mean, "years", devices=DEVICES,
+        seed=CONFIG.seed, bigger_is_better=True,
+    )
+    recorder.sample(
+        "attack_detection", "newly_faulty", report.newly_faulty,
+        "devices", devices=DEVICES, seed=CONFIG.seed,
+    )
+    for suite in report.suites:
+        recorder.sample(
+            "attack_detection", "detection_lead_devices",
+            report.detection_lead_devices[suite], "devices",
+            suite=suite, devices=DEVICES, seed=CONFIG.seed,
+            bigger_is_better=True,
+        )
+        recorder.sample(
+            "attack_detection", "detection_lead_years",
+            report.detection_lead_years[suite], "years",
+            suite=suite, devices=DEVICES, seed=CONFIG.seed,
+            bigger_is_better=True,
+        )
+    recorder.sample(
+        "attack_detection", "vega_lead_minus_random",
+        report.detection_lead_devices["vega"]
+        - report.detection_lead_devices["random"],
+        "devices", devices=DEVICES, seed=CONFIG.seed,
+        bigger_is_better=True,
+    )
+    recorder.sample(
+        "attack_detection", "search_wall_time", search_time,
+        "seconds", evaluations=result.evaluations, timing=True,
+    )
+    recorder.sample(
+        "attack_detection", "campaign_wall_time", campaign_time,
+        "seconds", devices=DEVICES, timing=True,
+    )
+
+    rows = [
+        f"ALU attack-fleet detection lead: {DEVICES} devices, "
+        f"suites vega+random at equal budget"
+        + (" [smoke]" if SMOKE else ""),
+        f"search: {result.evaluations} candidates in {search_time:.1f}s, "
+        f"stress {result.natural_stress:.4f} -> {result.best_stress:.4f} "
+        f"(accel {report.acceleration:.2f}x)",
+        f"fleet: +{report.newly_faulty} newly faulty, onset lead mean "
+        f"{report.onset_lead_years_mean:.2f}y / max "
+        f"{report.onset_lead_years_max:.2f}y",
+        "suite  | natural det | attack det | lead (dev) | lead (years)",
+    ]
+    for suite in report.suites:
+        nat_det = sum(
+            1 for row in report.device_rows
+            if suite in row["natural_detected_by"]
+        )
+        att_det = sum(
+            1 for row in report.device_rows
+            if suite in row["attack_detected_by"]
+        )
+        rows.append(
+            f"{suite:6s} | {nat_det:11d} | {att_det:10d} "
+            f"| {report.detection_lead_devices[suite]:+10d} "
+            f"| {report.detection_lead_years[suite]:12.2f}"
+        )
+    recorder.table("attack_detection", "\n".join(rows))
+
+    report2 = benchmark(lambda: run_fleet(attack_fleet))
+    assert report2.to_json() == attack.to_json()

@@ -1,0 +1,214 @@
+"""The ``AttackReport`` artifact: detection lead under attack.
+
+The headline question — "does the Vega suite flag attacker-accelerated
+aging earlier than natural aging at equal budget?" — is answered by
+running the *same* campaign config twice, once over the natural fleet
+and once over its attack twin, and pairing devices by index:
+
+* **detection lead (devices)** — per suite, how many more devices the
+  suite detects on the attack fleet than on the natural one inside the
+  mission window (the attack pulls onsets forward, so devices that
+  would have escaped as "not yet faulty" become detectable);
+* **detection lead (years)** — per suite, the mean onset advance
+  (natural onset minus attacked onset) over devices the suite detects
+  on the attack fleet: the suite flags at violation onset, so an
+  accelerated onset means the same device is flagged that many years
+  earlier in its deployed life.
+
+Like every campaign artifact, the report is a pure function of the two
+fleets and their suite outcomes — no wall clock, no worker counts — so
+it is byte-identical however the campaigns were sharded or resumed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Sequence
+
+from ..campaign.fleet import DeviceSpec
+from ..campaign.report import CampaignReport
+from .search import AttackSearchResult
+
+
+def _detected_by_suite(report: CampaignReport) -> Dict[str, set]:
+    """suite -> set of device ids the suite detected."""
+    out: Dict[str, set] = {suite: set() for suite in report.suites}
+    for row in report.device_rows:
+        for outcome in row["outcomes"]:
+            if outcome["detected"]:
+                out[outcome["suite"]].add(row["device"])
+    return out
+
+
+@dataclass
+class AttackReport:
+    """Natural vs attack campaign comparison at equal budget."""
+
+    unit: str
+    seed: int
+    attack_seed: int
+    devices: int
+    suites: List[str]
+    budget_instructions: int
+    mission_years: float
+    base_onset_years: float
+    stress_ratio: float
+    acceleration: float
+    attack_fraction: float
+    attacked_devices: int
+    #: Devices the attack pulled into the mission window.
+    newly_faulty: int
+    #: Mean/max onset advance (years) over attacked devices.
+    onset_lead_years_mean: float
+    onset_lead_years_max: float
+    #: {"faulty", "detected", "escapes"} per campaign.
+    natural: Dict[str, int] = field(default_factory=dict)
+    attack: Dict[str, int] = field(default_factory=dict)
+    #: suite -> attack detections minus natural detections (devices).
+    detection_lead_devices: Dict[str, int] = field(default_factory=dict)
+    #: suite -> mean onset advance over the suite's attack detections.
+    detection_lead_years: Dict[str, float] = field(default_factory=dict)
+    #: One row per device, pairing the natural and attacked draws.
+    device_rows: List[dict] = field(default_factory=list)
+
+    @classmethod
+    def from_campaigns(
+        cls,
+        search: AttackSearchResult,
+        natural_fleet: Sequence[DeviceSpec],
+        attack_fleet: Sequence[DeviceSpec],
+        natural_report: CampaignReport,
+        attack_report: CampaignReport,
+        attack_fraction: float,
+        attack_seed: int,
+        budget_instructions: int,
+    ) -> "AttackReport":
+        nat_by_index = {s.index: s for s in natural_fleet}
+        nat_detected = _detected_by_suite(natural_report)
+        att_detected = _detected_by_suite(attack_report)
+
+        rows: List[dict] = []
+        leads: List[float] = []
+        attacked = 0
+        newly_faulty = 0
+        for spec in attack_fleet:
+            twin = nat_by_index[spec.index]
+            lead = round(twin.onset_years - spec.onset_years, 6)
+            was_attacked = spec.onset_years < twin.onset_years
+            if was_attacked:
+                attacked += 1
+                leads.append(lead)
+            if spec.faulty and not twin.faulty:
+                newly_faulty += 1
+            rows.append(
+                {
+                    "device": spec.device_id,
+                    "corner": spec.corner,
+                    "mechanism": spec.mechanism,
+                    "natural_onset_years": twin.onset_years,
+                    "attack_onset_years": spec.onset_years,
+                    "onset_lead_years": lead,
+                    "attacked": was_attacked,
+                    "natural_faulty": twin.faulty,
+                    "attack_faulty": spec.faulty,
+                    "natural_detected_by": sorted(
+                        suite
+                        for suite, ids in nat_detected.items()
+                        if spec.device_id in ids
+                    ),
+                    "attack_detected_by": sorted(
+                        suite
+                        for suite, ids in att_detected.items()
+                        if spec.device_id in ids
+                    ),
+                }
+            )
+
+        lead_devices: Dict[str, int] = {}
+        lead_years: Dict[str, float] = {}
+        for suite in natural_report.suites:
+            lead_devices[suite] = len(att_detected[suite]) - len(
+                nat_detected[suite]
+            )
+            advances = [
+                row["onset_lead_years"]
+                for row in rows
+                if suite in row["attack_detected_by"]
+                and row["onset_lead_years"] > 0.0
+            ]
+            lead_years[suite] = (
+                round(sum(advances) / len(advances), 6) if advances else 0.0
+            )
+
+        return cls(
+            unit=natural_report.unit,
+            seed=natural_report.seed,
+            attack_seed=attack_seed,
+            devices=natural_report.devices,
+            suites=list(natural_report.suites),
+            budget_instructions=budget_instructions,
+            mission_years=natural_report.mission_years,
+            base_onset_years=natural_report.base_onset_years,
+            stress_ratio=search.stress_ratio,
+            acceleration=search.acceleration,
+            attack_fraction=attack_fraction,
+            attacked_devices=attacked,
+            newly_faulty=newly_faulty,
+            onset_lead_years_mean=(
+                round(sum(leads) / len(leads), 6) if leads else 0.0
+            ),
+            onset_lead_years_max=(max(leads) if leads else 0.0),
+            natural={
+                "faulty": natural_report.faulty_devices,
+                "detected": natural_report.detected_devices,
+                "escapes": natural_report.escapes,
+            },
+            attack={
+                "faulty": attack_report.faulty_devices,
+                "detected": attack_report.detected_devices,
+                "escapes": attack_report.escapes,
+            },
+            detection_lead_devices=lead_devices,
+            detection_lead_years=lead_years,
+            device_rows=rows,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, no wall clock, no worker count."""
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "AttackReport":
+        return cls(**json.loads(text))
+
+    # -- human view ----------------------------------------------------
+    def summary(self) -> str:
+        lines = [
+            f"attack: {self.unit} fleet of {self.devices} "
+            f"(accel {self.acceleration:.2f}x on "
+            f"{self.attacked_devices}/{self.devices} devices, "
+            f"stress ratio {self.stress_ratio:.3f})",
+            f"  equal budget: {self.budget_instructions} instructions/"
+            f"suite, mission {self.mission_years:.0f}y, "
+            f"base onset ~{self.base_onset_years:.2f}y",
+            f"  natural: faulty {self.natural['faulty']}  "
+            f"detected {self.natural['detected']}  "
+            f"escapes {self.natural['escapes']}",
+            f"  attack:  faulty {self.attack['faulty']}  "
+            f"detected {self.attack['detected']}  "
+            f"escapes {self.attack['escapes']}  "
+            f"(+{self.newly_faulty} newly faulty)",
+            f"  onset lead: mean {self.onset_lead_years_mean:.2f}y, "
+            f"max {self.onset_lead_years_max:.2f}y across attacked "
+            f"devices",
+        ]
+        for suite in self.suites:
+            lines.append(
+                f"  detection lead ({suite}): "
+                f"{self.detection_lead_devices[suite]:+d} device(s), "
+                f"{self.detection_lead_years[suite]:.2f}y earlier "
+                f"detection (mean onset advance)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,468 @@
+"""Deterministic attacker-workload search.
+
+The attacker's objective is the dual of the profiler's: instead of
+measuring the SP skew a representative workload induces, *maximize* the
+BTI stress duty over a chosen victim cone.  The search is a seeded
+candidate pool refined by beam hill-climbing:
+
+* **seeding** — ``candidates`` operand streams drawn from the
+  ``adversary.candidate`` RNG stream, cycling through bias modes
+  (zeros-heavy, ones-heavy, sparse-toggle hold, uniform) so the pool
+  starts spread across the SP spectrum;
+* **refinement** — each of ``rounds`` rounds mutates every beam
+  survivor ``mutations`` times (``adversary.mutate`` streams keyed by
+  round/rank/mutant), re-scores, and keeps the ``beam`` best.
+
+Scoring reuses :func:`repro.sim.parallel_profile
+.profile_workload_streams` — the packed, fork-sharded profiler — so a
+candidate's stress is bit-identical for any worker count, and profiles
+are memoized through :class:`~repro.core.artifacts.ArtifactCache`
+keyed by (netlist hash, stream content, lanes, drain cycles): worker
+count never enters a key.  Each round publishes a checkpoint keyed by
+its round index (never the total round count), so a resumed search —
+even one asked for *more* rounds — extends the completed prefix
+instead of restarting, and its result is byte-identical to an
+uninterrupted run.
+
+The physics linking stress to onset: BTI dVth grows as
+``duty^0.5 · t^(1/6)`` (:mod:`repro.aging.bti`), so reaching the same
+dVth (the same violation) takes ``t ∝ duty^-3`` — the attack's onset
+acceleration is the stress ratio raised to ``duty_exponent /
+time_exponent``, capped because real wearout saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import json
+
+from ..core import telemetry
+from ..core.artifacts import ArtifactCache
+from ..core.config import AdversaryConfig
+from ..core.rng import stream_rng
+from ..aging.bti import DEFAULT_BTI
+from ..netlist.netlist import Netlist
+from ..sim.parallel_profile import profile_workload_streams
+from ..sim.probes import SPProfile
+
+#: Candidate bias modes the generators cycle through.
+BIAS_MODES = ("zero", "one", "hold", "uniform")
+
+#: Checkpoint payload version; bump on incompatible layout changes.
+_CHECKPOINT_VERSION = 1
+
+#: Stream positions re-held per hold-mode run before redrawing.
+_HOLD_RUN = 8
+
+
+@dataclass(frozen=True)
+class AttackTarget:
+    """The victim: endpoint pairs plus their stress-scored cone nets.
+
+    ``nets`` holds ``(net_name, stress_state)`` for every instance
+    output in the union of the endpoints' fanin cones — the nets whose
+    BTI stress duty the attacker maximizes.
+    """
+
+    pairs: Tuple[Tuple[str, str], ...]
+    nets: Tuple[Tuple[str, int], ...]
+
+
+def select_target(
+    netlist: Netlist, pairs: Sequence[Tuple[str, str]]
+) -> AttackTarget:
+    """Resolve endpoint pairs to the stress cone behind their capture.
+
+    Each pair's ``end`` flop has its D-pin fanin cone (stopping at
+    flops) collected; the cone instances' output nets, tagged with the
+    driving cell's stressed output state, are what
+    :func:`stress_score` averages over.
+    """
+    norm = tuple(sorted({(str(s), str(e)) for s, e in pairs}))
+    if not norm:
+        raise ValueError("no target endpoint pairs")
+    seen: Dict[str, int] = {}
+    for _start, end in norm:
+        try:
+            flop = netlist.instances[end]
+        except KeyError:
+            raise KeyError(f"target endpoint {end!r} not in netlist") from None
+        cone = netlist.fanin_cone(flop.pins["D"])
+        for inst in cone:
+            seen[inst.output_net.name] = inst.ctype.stress_state
+    if not seen:
+        raise ValueError("target pairs have empty fanin cones")
+    return AttackTarget(pairs=norm, nets=tuple(sorted(seen.items())))
+
+
+def stress_score(profile: SPProfile, target: AttackTarget) -> float:
+    """Mean BTI stress duty over the victim cone under ``profile``.
+
+    A cell whose PMOS stack is stressed at output 0 contributes
+    ``1 - sp``; one stressed at output 1 contributes ``sp`` — the same
+    duty the characterization pipeline feeds the reaction-diffusion
+    model, so maximizing this metric maximizes aged delay on the
+    victim paths.
+    """
+    total = 0.0
+    for name, stress_state in target.nets:
+        sp = profile.sp.get(name, 0.0)
+        total += (1.0 - sp) if stress_state == 0 else sp
+    return total / len(target.nets)
+
+
+def _input_ports(netlist: Netlist) -> Tuple[Tuple[str, int], ...]:
+    return tuple((p.name, p.width) for p in netlist.input_ports())
+
+
+def _draw_value(rng, width: int, mode: str) -> int:
+    """One biased operand draw.
+
+    AND-ing (OR-ing) three uniform draws skews each bit to 1/8 (7/8)
+    probability of one — deep into the stressed (de-stressed) SP tail
+    without being the degenerate all-zeros vector that never exercises
+    the cone.
+    """
+    if mode == "zero":
+        return (
+            rng.getrandbits(width)
+            & rng.getrandbits(width)
+            & rng.getrandbits(width)
+        )
+    if mode == "one":
+        return (
+            rng.getrandbits(width)
+            | rng.getrandbits(width)
+            | rng.getrandbits(width)
+        )
+    return rng.getrandbits(width)
+
+
+def generate_candidate(
+    ports: Sequence[Tuple[str, int]],
+    ops: int,
+    seed: int,
+    index: int,
+) -> List[Dict[str, int]]:
+    """Seed candidate ``index``: one biased operand stream.
+
+    The bias mode cycles with the index so every seeding pool covers
+    all modes; ``hold`` redraws operands only every ``_HOLD_RUN``
+    positions, parking the cone between toggles (the sparse-toggle
+    pattern targeted wearout attacks favour).
+    """
+    rng = stream_rng("adversary.candidate", seed, index)
+    mode = BIAS_MODES[index % len(BIAS_MODES)]
+    stream: List[Dict[str, int]] = []
+    held: Dict[str, int] = {}
+    for i in range(ops):
+        if mode == "hold":
+            if i % _HOLD_RUN == 0 or not held:
+                held = {name: rng.getrandbits(width) for name, width in ports}
+            stream.append(dict(held))
+        else:
+            stream.append(
+                {name: _draw_value(rng, width, mode) for name, width in ports}
+            )
+    return stream
+
+
+def mutate_candidate(
+    parent: Sequence[Mapping[str, int]],
+    ports: Sequence[Tuple[str, int]],
+    mutation_ops: int,
+    seed: int,
+    round_index: int,
+    rank: int,
+    mutant: int,
+) -> List[Dict[str, int]]:
+    """Hill-climb step: rewrite ``mutation_ops`` positions of a parent.
+
+    The mutation stream is keyed by (round, beam rank, mutant index) —
+    never by anything that depends on scheduling — so a resumed search
+    regenerates exactly the mutants an uninterrupted one would.
+    """
+    rng = stream_rng("adversary.mutate", seed, round_index, rank, mutant)
+    stream = [dict(op) for op in parent]
+    mode = BIAS_MODES[rng.randrange(len(BIAS_MODES))]
+    for _ in range(min(mutation_ops, len(stream))):
+        pos = rng.randrange(len(stream))
+        if mode == "hold" and pos > 0:
+            stream[pos] = dict(stream[pos - 1])
+        else:
+            stream[pos] = {
+                name: _draw_value(rng, width, mode) for name, width in ports
+            }
+    return stream
+
+
+@dataclass
+class AttackSearchResult:
+    """Canonical outcome of one attacker-workload search.
+
+    Wall-clock, worker counts, and resume provenance are deliberately
+    excluded: the result is a pure function of (netlist, target,
+    config), byte-identical across worker counts and across resumes.
+    """
+
+    unit: str
+    seed: int
+    candidates: int
+    rounds: int
+    beam: int
+    mutations: int
+    stream_ops: int
+    mutation_ops: int
+    lanes: int
+    acceleration_cap: float
+    target_pairs: List[List[str]]
+    target_nets: int
+    natural_stress: float
+    best_stress: float
+    stress_ratio: float
+    acceleration: float
+    best_digest: str
+    evaluations: int
+    history: List[Dict[str, float]]
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "AttackSearchResult":
+        data = json.loads(text)
+        data["target_pairs"] = [list(p) for p in data["target_pairs"]]
+        return cls(**data)
+
+    def summary(self) -> str:
+        pairs = ", ".join(f"{s} ~> {e}" for s, e in self.target_pairs)
+        return "\n".join(
+            [
+                f"attack search: {self.unit}, {self.evaluations} candidates "
+                f"over {self.rounds} rounds (beam {self.beam})",
+                f"  target: {pairs} ({self.target_nets} cone nets)",
+                f"  stress duty: natural {self.natural_stress:.4f} -> "
+                f"attack {self.best_stress:.4f} "
+                f"(ratio {self.stress_ratio:.3f})",
+                f"  onset acceleration: {self.acceleration:.2f}x "
+                f"(cap {self.acceleration_cap:.1f}x)",
+            ]
+        )
+
+
+class AttackSearch:
+    """Beam search for the stress-maximizing operand stream.
+
+    ``natural_profile`` supplies the baseline stress the victim cone
+    sees under the representative workload; the search reports its best
+    candidate's stress relative to it.  ``cache`` (optional) memoizes
+    candidate profiles and round checkpoints.  ``resumed_rounds`` — how
+    many rounds a resume skipped — is exposed for operators but never
+    serialized into the result.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        unit: str,
+        natural_profile: SPProfile,
+        pairs: Sequence[Tuple[str, str]],
+        config: Optional[AdversaryConfig] = None,
+        cache: Optional[ArtifactCache] = None,
+    ):
+        self.netlist = netlist
+        self.unit = unit
+        self.config = config or AdversaryConfig()
+        self.cache = cache
+        self.target = select_target(netlist, pairs)
+        self.ports = _input_ports(netlist)
+        self.natural_stress = stress_score(natural_profile, self.target)
+        self.resumed_rounds = 0
+
+    # -- keys -----------------------------------------------------------
+    def search_key(self) -> str:
+        """Identity of the search *prefix* every round extends.
+
+        ``rounds`` and ``workers`` are deliberately excluded: round
+        checkpoints are keyed by round index so a longer resumed search
+        continues a shorter run's prefix, and worker count never
+        changes any result.
+        """
+        cfg = self.config
+        return ArtifactCache.digest(
+            "adversary-search",
+            self.netlist.structural_hash(),
+            [list(p) for p in self.target.pairs],
+            [list(n) for n in self.target.nets],
+            cfg.seed,
+            cfg.candidates,
+            cfg.beam,
+            cfg.mutations,
+            cfg.stream_ops,
+            cfg.mutation_ops,
+            cfg.lanes,
+            cfg.drain_cycles,
+        )
+
+    def _round_key(self, round_index: int) -> str:
+        return ArtifactCache.digest(
+            "adversary-round", self.search_key(), round_index
+        )
+
+    # -- scoring --------------------------------------------------------
+    def _profile(self, stream: Sequence[Mapping[str, int]]) -> SPProfile:
+        key = None
+        if self.cache is not None:
+            key = ArtifactCache.digest(
+                "adversary-profile",
+                self.netlist.structural_hash(),
+                ArtifactCache.stream_digest(stream),
+                self.config.lanes,
+                self.config.drain_cycles,
+            )
+            hit = self.cache.load_profile(key)
+            if hit is not None:
+                return hit
+        profile = profile_workload_streams(
+            self.netlist,
+            {"attack": stream},
+            lanes=self.config.lanes,
+            drain_cycles=self.config.drain_cycles,
+            workers=self.config.workers,
+        )
+        if self.cache is not None and key is not None:
+            self.cache.store_profile(key, profile)
+        return profile
+
+    def _score(self, stream: Sequence[Mapping[str, int]]) -> float:
+        return round(stress_score(self._profile(stream), self.target), 9)
+
+    # -- the search loop ------------------------------------------------
+    def run(
+        self, resume: bool = False
+    ) -> Tuple[AttackSearchResult, List[Dict[str, int]]]:
+        """Run (or resume) the search; return (result, best stream)."""
+        cfg = self.config
+        with telemetry.span(
+            "adversary.search",
+            unit=self.unit,
+            seed=cfg.seed,
+            rounds=cfg.rounds,
+        ):
+            start_round = 0
+            history: List[Dict[str, float]] = []
+            evaluations = 0
+            # Beam entries are (score desc, stream digest, stream); the
+            # digest tiebreak makes the ordering total, so equal-score
+            # survivors are the same in every run.
+            beam: List[Tuple[float, str, List[Dict[str, int]]]] = []
+            if resume and self.cache is not None:
+                for r in range(cfg.rounds, -1, -1):
+                    payload = self.cache.load_checkpoint(self._round_key(r))
+                    if (
+                        isinstance(payload, dict)
+                        and payload.get("version") == _CHECKPOINT_VERSION
+                    ):
+                        history = [dict(h) for h in payload["history"]]
+                        evaluations = int(payload["evaluations"])
+                        beam = [
+                            (score, digest, [dict(op) for op in stream])
+                            for score, digest, stream in payload["beam"]
+                        ]
+                        start_round = r + 1
+                        self.resumed_rounds = r + 1
+                        telemetry.add("adversary.rounds_resumed", r + 1)
+                        break
+            for r in range(start_round, cfg.rounds + 1):
+                if r == 0:
+                    fresh = [
+                        generate_candidate(
+                            self.ports, cfg.stream_ops, cfg.seed, i
+                        )
+                        for i in range(cfg.candidates)
+                    ]
+                else:
+                    fresh = [
+                        mutate_candidate(
+                            stream, self.ports, cfg.mutation_ops,
+                            cfg.seed, r, rank, mutant,
+                        )
+                        for rank, (_s, _d, stream) in enumerate(beam)
+                        for mutant in range(cfg.mutations)
+                    ]
+                scored = list(beam)
+                seen = {digest for _s, digest, _ in scored}
+                for stream in fresh:
+                    digest = ArtifactCache.stream_digest(stream)
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    scored.append((self._score(stream), digest, stream))
+                    evaluations += 1
+                scored.sort(key=lambda row: (-row[0], row[1]))
+                beam = scored[: cfg.beam]
+                history.append(
+                    {
+                        "round": r,
+                        "best_stress": beam[0][0],
+                        "evaluated": evaluations,
+                    }
+                )
+                telemetry.event(
+                    "adversary.round",
+                    round=r,
+                    best_stress=beam[0][0],
+                    evaluated=evaluations,
+                )
+                if self.cache is not None:
+                    self.cache.store_checkpoint(
+                        self._round_key(r),
+                        {
+                            "version": _CHECKPOINT_VERSION,
+                            "history": [dict(h) for h in history],
+                            "evaluations": evaluations,
+                            "beam": [
+                                (s, d, [dict(op) for op in stream])
+                                for s, d, stream in beam
+                            ],
+                        },
+                    )
+            best_stress, best_digest, best_stream = beam[0]
+            if self.natural_stress > 0.0:
+                ratio = best_stress / self.natural_stress
+            else:
+                ratio = cfg.acceleration_cap
+            exponent = DEFAULT_BTI.duty_exponent / DEFAULT_BTI.time_exponent
+            acceleration = min(
+                cfg.acceleration_cap, max(1.0, ratio) ** exponent
+            )
+            result = AttackSearchResult(
+                unit=self.unit,
+                seed=cfg.seed,
+                candidates=cfg.candidates,
+                rounds=cfg.rounds,
+                beam=cfg.beam,
+                mutations=cfg.mutations,
+                stream_ops=cfg.stream_ops,
+                mutation_ops=cfg.mutation_ops,
+                lanes=cfg.lanes,
+                acceleration_cap=cfg.acceleration_cap,
+                target_pairs=[list(p) for p in self.target.pairs],
+                target_nets=len(self.target.nets),
+                natural_stress=round(self.natural_stress, 9),
+                best_stress=best_stress,
+                stress_ratio=round(ratio, 9),
+                acceleration=round(acceleration, 9),
+                best_digest=best_digest,
+                evaluations=evaluations,
+                history=history,
+            )
+            telemetry.event(
+                "adversary.search_done",
+                stress_ratio=result.stress_ratio,
+                acceleration=result.acceleration,
+                evaluations=evaluations,
+            )
+            return result, best_stream

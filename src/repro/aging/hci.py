@@ -1,0 +1,126 @@
+"""Hot-carrier-injection (HCI) aging model — §6.3 extension.
+
+BTI (:mod:`repro.aging.bti`) stresses a transistor while its gate is
+*statically* biased, so rarely-switching cells age fastest.  HCI is the
+complementary mechanism: every output **transition** drives channel
+carriers energetic enough to inject into the gate oxide, so damage
+accrues with *switching activity* instead of idle duty.  The two
+mechanisms therefore stress opposite ends of the signal-probability
+spectrum — a cell parked at SP 0.02 is a BTI victim, a cell toggling
+around SP 0.5 is an HCI victim — which widens the failure-model space a
+fleet samples from (ROADMAP item 4).
+
+The model follows the standard lucky-electron form::
+
+    dVth_HCI ∝ exp(-Ea / kT) · activity^m · t^n      (n ≈ 1/2)
+
+with the transition density estimated from the output SP under the
+independence assumption ``activity = 2 · sp · (1 - sp)`` (the same
+proxy the EM analysis uses when no toggle counts are recorded).  The
+prefactor is fitted so a 50 %-SP vega28 cell accrues ~8 mV over ten
+years at 105 °C — material, but clearly subordinate to the ~26 mV
+fully-stressed BTI shift, matching the usual BTI-dominant ranking at
+28 nm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .bti import BOLTZMANN_EV, SECONDS_PER_YEAR
+
+
+@dataclass(frozen=True)
+class HciParameters:
+    """Fitted constants of the lucky-electron HCI model.
+
+    Attributes:
+        prefactor: Technology-dependent magnitude constant (volts).
+        activation_energy_ev: Arrhenius activation energy.  Small and
+            positive: modern short-channel HCI worsens with
+            temperature, unlike the inverse dependence of long-channel
+            devices.
+        time_exponent: Power-law exponent in stress time (~0.5 for
+            interface-trap generation).
+        activity_exponent: Exponent on the transition density; linear
+            by default (each transition injects independently).
+    """
+
+    prefactor: float = 2.0e-5
+    activation_energy_ev: float = 0.10
+    time_exponent: float = 0.5
+    activity_exponent: float = 1.0
+
+    def arrhenius(self, temperature_c: float) -> float:
+        t_kelvin = temperature_c + 273.15
+        return math.exp(
+            -self.activation_energy_ev / (BOLTZMANN_EV * t_kelvin)
+        )
+
+
+DEFAULT_HCI = HciParameters()
+
+
+def transition_density(sp: float) -> float:
+    """Expected output transitions per cycle at output SP ``sp``.
+
+    Independence proxy: the output toggles when two consecutive samples
+    differ, ``2 · sp · (1 - sp)`` — zero at the SP rails, maximal 0.5
+    at SP 0.5, exactly the opposite stress profile of BTI duty.
+    """
+    if not 0.0 <= sp <= 1.0:
+        raise ValueError(f"SP must be within [0, 1], got {sp}")
+    return 2.0 * sp * (1.0 - sp)
+
+
+def delta_vth_hci(
+    stress_seconds: float,
+    activity: float,
+    temperature_c: float,
+    params: HciParameters = DEFAULT_HCI,
+) -> float:
+    """Threshold-voltage shift from hot-carrier injection.
+
+    Args:
+        stress_seconds: Wall-clock device lifetime.
+        activity: Output transition density per cycle, in [0, 1].
+        temperature_c: Operating temperature.
+        params: Fitted model constants.
+
+    Returns:
+        dVth in volts (>= 0), monotonically increasing in both
+        ``activity`` and ``stress_seconds``.
+    """
+    if stress_seconds < 0:
+        raise ValueError("stress time must be non-negative")
+    if not 0.0 <= activity <= 1.0:
+        raise ValueError(f"activity must be within [0, 1], got {activity}")
+    if stress_seconds == 0 or activity == 0:
+        return 0.0
+    return (
+        params.prefactor
+        * params.arrhenius(temperature_c)
+        * activity**params.activity_exponent
+        * stress_seconds**params.time_exponent
+    )
+
+
+def cell_delta_vth_hci(
+    sp: float,
+    years: float,
+    temperature_c: float,
+    params: HciParameters = DEFAULT_HCI,
+    activity_scale: float = 1.0,
+) -> float:
+    """Effective HCI dVth of a logic cell given its output SP.
+
+    ``activity_scale`` lets an operating corner scale the transition
+    density (hot, undervolted parts see more energetic carriers per
+    toggle — :attr:`repro.aging.corners.OperatingCorner
+    .hci_stress_scale`).
+    """
+    activity = min(1.0, transition_density(sp) * activity_scale)
+    return delta_vth_hci(
+        years * SECONDS_PER_YEAR, activity, temperature_c, params
+    )

@@ -52,6 +52,9 @@ class DeviceSpec:
             for a healthy device.
         backend_seed: Seed for the device's co-simulation backend RNG
             (drives the per-cycle C of ``CMode.RANDOM`` models).
+        mechanism: Dominant wearout mechanism behind the device's onset
+            draw — ``"bti"`` (default) or ``"hci"`` when the campaign's
+            ``hci_fraction`` mechanism draw selects hot-carrier aging.
     """
 
     index: int
@@ -61,6 +64,7 @@ class DeviceSpec:
     faulty: bool
     model: Optional[FailureModel]
     backend_seed: int
+    mechanism: str = "bti"
 
     @property
     def c_mode(self) -> Optional[str]:
@@ -101,6 +105,50 @@ def assign_model(
     return faulty, model
 
 
+def device_draw(
+    config: CampaignConfig,
+    index: int,
+    base_onset_years: float,
+) -> Tuple[random.Random, OperatingCorner, float, str]:
+    """Corner / onset / mechanism draw for one device.
+
+    Returns ``(rng, corner, onset_years, mechanism)`` with the device's
+    ``campaign.fleet`` stream positioned exactly where
+    :func:`assign_model` expects it.  Shared by the natural sampler and
+    the adversarial sampler (:func:`repro.adversary.sample_attack_fleet`)
+    so both describe the *same individuals* — an attack fleet differs
+    from its natural twin only in the onset acceleration applied after
+    this draw.
+
+    The wearout-mechanism draw consumes its own ``campaign.mechanism``
+    stream and only when ``config.hci_fraction > 0``, so default
+    campaigns remain byte-identical to pre-HCI ones.  HCI-dominated
+    devices' onsets scale by ``hci_onset_scale`` divided by the
+    corner's ``hci_stress_scale`` (hotter corners toggle into wearout
+    faster).
+    """
+    rng = random.Random(stream_seed("campaign.fleet", config.seed, index))
+    corner = (
+        WORST_CORNER
+        if rng.random() < config.worst_corner_fraction
+        else TYPICAL_CORNER
+    )
+    onset = (
+        base_onset_years
+        * rng.lognormvariate(0.0, config.onset_sigma)
+        / _corner_acceleration(corner)
+    )
+    mechanism = "bti"
+    if config.hci_fraction > 0.0:
+        mech_rng = random.Random(
+            stream_seed("campaign.mechanism", config.seed, index)
+        )
+        if mech_rng.random() < config.hci_fraction:
+            mechanism = "hci"
+            onset *= config.hci_onset_scale / corner.hci_stress_scale
+    return rng, corner, onset, mechanism
+
+
 def sample_fleet(
     config: CampaignConfig,
     failing_models: Sequence[FailureModel],
@@ -117,16 +165,8 @@ def sample_fleet(
     models = list(failing_models)
     fleet: List[DeviceSpec] = []
     for index in range(config.devices):
-        rng = random.Random(stream_seed("campaign.fleet", config.seed, index))
-        corner = (
-            WORST_CORNER
-            if rng.random() < config.worst_corner_fraction
-            else TYPICAL_CORNER
-        )
-        onset = (
-            base_onset_years
-            * rng.lognormvariate(0.0, config.onset_sigma)
-            / _corner_acceleration(corner)
+        rng, corner, onset, mechanism = device_draw(
+            config, index, base_onset_years
         )
         faulty, model = assign_model(
             rng, models, onset, config.mission_years
@@ -143,6 +183,7 @@ def sample_fleet(
                     "campaign.backend", config.seed, index
                 )
                 & 0xFFFFFFFF,
+                mechanism=mechanism,
             )
         )
     return fleet

@@ -19,6 +19,8 @@ trace          summarize a JSONL telemetry trace
 campaign       fleet-scale fault-injection campaigns (run / report)
 bench          canonical benchmark trajectory (compare / report)
 surrogate      ML aging surrogate (train / validate / triage)
+attack         adversarial wearout scenarios (search / run)
+respond        detection→response reconfiguration policies
 =============  =====================================================
 """
 
@@ -255,6 +257,110 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a CampaignReport JSON file as markdown"
     )
     p.add_argument("file", help="report JSON written by campaign run --report")
+
+    p = sub.add_parser(
+        "attack",
+        help="adversarial wearout scenarios: craft a stress-maximizing "
+             "workload and measure Vega's detection lead on the "
+             "attacked fleet",
+    )
+    attack_sub = p.add_subparsers(dest="attack_command", required=True)
+
+    def _add_attack_search(p: argparse.ArgumentParser) -> None:
+        _add_unit(p)
+        p.add_argument("--attack-seed", type=int, default=99,
+                       help="adversary seed; drives every candidate, "
+                            "mutation, and attacked-subset draw")
+        p.add_argument("--candidates", type=int, default=8,
+                       help="seeded candidate streams (default: 8)")
+        p.add_argument("--rounds", type=int, default=3,
+                       help="beam-refinement rounds (default: 3)")
+        p.add_argument("--beam", type=int, default=3,
+                       help="survivors kept per round (default: 3)")
+        p.add_argument("--mutations", type=int, default=4,
+                       help="mutants per survivor per round (default: 4)")
+        p.add_argument("--stream-ops", type=int, default=192,
+                       help="operations per candidate stream")
+        p.add_argument("--lanes", type=int, default=64,
+                       help="packed profiling lanes per candidate")
+        p.add_argument("--workers", type=int, default=1,
+                       help="fork workers for profiling and device "
+                            "shards; 0 = one per CPU (results are "
+                            "byte-identical for any count)")
+        p.add_argument("--resume", action="store_true",
+                       help="resume from round/shard checkpoints in the "
+                            "artifact cache")
+        p.add_argument("--report", metavar="FILE",
+                       help="write the result JSON to FILE")
+        p.add_argument("--trace", metavar="FILE",
+                       help="write the JSONL telemetry trace")
+        p.add_argument("--metrics", action="store_true",
+                       help="print the markdown metrics summary")
+        p.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache (and resume)")
+        p.add_argument("--cache-dir", default=".vega-cache",
+                       help="artifact cache root (default: .vega-cache)")
+
+    p = attack_sub.add_parser(
+        "search",
+        help="search for the operand stream maximizing BTI stress on "
+             "the unit's violating cones",
+    )
+    _add_attack_search(p)
+    p = attack_sub.add_parser(
+        "run",
+        help="attack-fleet campaign: natural vs attacked twins at "
+             "equal suite budget, reporting detection lead",
+    )
+    _add_attack_search(p)
+    _add_mitigation(p)
+    p.add_argument("--devices", type=int, default=12,
+                   help="fleet size (default: 12)")
+    p.add_argument("--seed", type=int, default=2024,
+                   help="campaign seed; both fleets draw the same "
+                        "individuals from it")
+    p.add_argument("--shard-size", type=int, default=4,
+                   help="devices per shard (the checkpoint/resume unit)")
+    p.add_argument("--suites", default="vega,random",
+                   help="comma-separated detection suites to run")
+    p.add_argument("--attack-fraction", type=float, default=1.0,
+                   help="fraction of the fleet the attacker reaches")
+    p.add_argument("--onset-years", type=float, default=None,
+                   help="base violation-onset age; defaults to a "
+                        "lifetime-sweep estimate for the unit")
+
+    p = sub.add_parser(
+        "respond",
+        help="evaluate reconfiguration responses (derate / resynth / "
+             "approximate) against the unit's aged timing",
+    )
+    _add_unit(p)
+    p.add_argument("--policies", default="derate,resynth,approximate",
+                   help="comma-separated response policies to evaluate")
+    p.add_argument("--mission-years", type=float, default=10.0,
+                   help="deployment window recovery is measured against")
+    p.add_argument("--accuracy-samples", type=int, default=128,
+                   help="operand frames sampled for the approximate "
+                        "policy's accuracy cost")
+    p.add_argument("--seed", type=int, default=17,
+                   help="seed for the response.accuracy RNG stream")
+    p.add_argument("--workers", type=int, default=1,
+                   help="fork workers for re-profiling modified "
+                        "netlists; 0 = one per CPU (reports are "
+                        "byte-identical for any count)")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from per-policy checkpoints in the "
+                        "artifact cache")
+    p.add_argument("--report", metavar="FILE",
+                   help="write the ResponseReport JSON to FILE")
+    p.add_argument("--trace", metavar="FILE",
+                   help="write the JSONL telemetry trace")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the markdown metrics summary")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the artifact cache (and resume)")
+    p.add_argument("--cache-dir", default=".vega-cache",
+                   help="artifact cache root (default: .vega-cache)")
 
     p = sub.add_parser(
         "bench",
@@ -1195,6 +1301,157 @@ def cmd_integrate(args, out) -> int:
     return 0
 
 
+def cmd_attack(args, out) -> int:
+    from .adversary import (
+        AttackReport,
+        AttackSearch,
+        derive_base_onset,
+        sample_attack_fleet,
+    )
+    from .core import telemetry
+    from .core.artifacts import ArtifactCache
+    from .core.config import AdversaryConfig
+
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    adv_config = AdversaryConfig(
+        seed=args.attack_seed,
+        candidates=args.candidates,
+        rounds=args.rounds,
+        beam=args.beam,
+        mutations=args.mutations,
+        stream_ops=args.stream_ops,
+        lanes=args.lanes,
+        workers=args.workers,
+    )
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    tele = telemetry.Telemetry()
+    with telemetry.use(tele):
+        pairs = unit.sta_result.report.unique_endpoint_pairs()
+        search = AttackSearch(
+            unit.netlist, args.unit, unit.sp_profile, pairs,
+            config=adv_config, cache=cache,
+        )
+        result, _best_stream = search.run(resume=args.resume)
+        report = None
+        if args.attack_command == "run":
+            from .campaign import CampaignEngine
+            from .campaign.fleet import sample_fleet
+            from .core.config import CampaignConfig
+
+            suites = tuple(
+                s.strip() for s in args.suites.split(",") if s.strip()
+            )
+            config = CampaignConfig(
+                devices=args.devices,
+                seed=args.seed,
+                shard_size=args.shard_size,
+                workers=args.workers,
+                suites=suites,
+                base_onset_years=args.onset_years,
+            )
+            base = derive_base_onset(unit, config)
+            models = unit.failure_models()
+            library = unit.suite(args.mitigation)
+            natural_fleet = sample_fleet(config, models, base)
+            attack_fleet = sample_attack_fleet(
+                config, models, base, result.acceleration,
+                attack_fraction=args.attack_fraction,
+                attack_seed=args.attack_seed,
+            )
+            campaigns = []
+            for fleet in (natural_fleet, attack_fleet):
+                engine = CampaignEngine(
+                    unit.netlist, args.unit, library, models,
+                    config=config, cache=cache, base_onset_years=base,
+                    fleet=fleet,
+                )
+                campaigns.append(engine.run(resume=args.resume))
+            report = AttackReport.from_campaigns(
+                result, natural_fleet, attack_fleet,
+                campaigns[0], campaigns[1],
+                attack_fraction=args.attack_fraction,
+                attack_seed=args.attack_seed,
+                budget_instructions=config.max_suite_instructions,
+            )
+    print(result.summary(), file=out)
+    if search.resumed_rounds:
+        print(f"  resumed from round checkpoint "
+              f"(skipped {search.resumed_rounds} round(s))", file=out)
+    if report is not None:
+        print(report.summary(), file=out)
+    if args.report:
+        with open(args.report, "w") as fp:
+            fp.write((report or result).to_json())
+        print(f"  report written to {args.report}", file=out)
+    if args.trace:
+        tele.write_jsonl(args.trace)
+        print(f"  trace written to {args.trace}", file=out)
+    if args.metrics:
+        print(file=out)
+        print(tele.summary_markdown(), file=out)
+    return 0
+
+
+def cmd_respond(args, out) -> int:
+    from .core import telemetry
+    from .core.artifacts import ArtifactCache
+    from .core.config import ResponseConfig
+    from .core.experiments import CLOCK_CHAIN_LENGTH
+    from .response import ResponseEngine
+
+    if args.resume and args.no_cache:
+        print("--resume needs the artifact cache (drop --no-cache)",
+              file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ArtifactCache(args.cache_dir)
+    policies = tuple(
+        p.strip() for p in args.policies.split(",") if p.strip()
+    )
+    config = ResponseConfig(
+        policies=policies,
+        mission_years=args.mission_years,
+        accuracy_samples=args.accuracy_samples,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    ctx = default_context()
+    unit = ctx.unit(args.unit)
+    tele = telemetry.Telemetry()
+    with telemetry.use(tele):
+        engine = ResponseEngine(
+            unit.netlist,
+            args.unit,
+            unit.sp_profile,
+            aging=ctx.config.aging,
+            config=config,
+            gated_instances=unit.gated_instances(),
+            clock_chain_length=CLOCK_CHAIN_LENGTH,
+            cache=cache,
+            operands=ctx.stream(args.unit),
+        )
+        report = engine.evaluate(resume=args.resume)
+    print(report.summary(), file=out)
+    if engine.resumed_policies:
+        print(f"  resumed from checkpoints: "
+              f"{', '.join(engine.resumed_policies)}", file=out)
+    if args.report:
+        with open(args.report, "w") as fp:
+            fp.write(report.to_json())
+        print(f"  report written to {args.report}", file=out)
+    if args.trace:
+        tele.write_jsonl(args.trace)
+        print(f"  trace written to {args.trace}", file=out)
+    if args.metrics:
+        print(file=out)
+        print(tele.summary_markdown(), file=out)
+    return 0
+
+
 def main(argv: Optional[list] = None, out=sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -1212,6 +1469,8 @@ def main(argv: Optional[list] = None, out=sys.stdout) -> int:
         "campaign": cmd_campaign,
         "bench": cmd_bench,
         "surrogate": cmd_surrogate,
+        "attack": cmd_attack,
+        "respond": cmd_respond,
         "serve": cmd_serve,
         "schedule": cmd_schedule,
         "integrate": cmd_integrate,

@@ -201,6 +201,17 @@ class CampaignConfig:
     #: Path of the trained surrogate snapshot the triage mode loads
     #: (``None``: the caller passes a model object directly).
     surrogate_model: Optional[str] = None
+    #: Fraction of the fleet whose dominant wearout mechanism is
+    #: hot-carrier injection (:mod:`repro.aging.hci`) instead of BTI.
+    #: The mechanism draw uses its own ``campaign.mechanism`` RNG
+    #: stream, gated behind ``hci_fraction > 0`` so the default fleet
+    #: is byte-identical to pre-HCI campaigns.
+    hci_fraction: float = 0.0
+    #: Onset multiplier applied to HCI-dominated devices (activity-heavy
+    #: workloads push HCI victims to violate earlier than the unit's
+    #: BTI-derived base onset), further scaled by the corner's
+    #: ``hci_stress_scale``.
+    hci_onset_scale: float = 0.75
 
 
 @dataclass
@@ -258,6 +269,106 @@ class SurrogateConfig:
     ridge_lambda: float = 1e-2
     recall_floor: float = 0.95
     threshold_margin: float = 0.25
+    workers: int = 1
+
+
+@dataclass
+class AdversaryConfig:
+    """Targeted wearout-attack workload search (``repro.adversary``).
+
+    The attacker crafts operand streams that skew signal probabilities
+    toward the BTI-stressed state on chosen victim paths (targeted
+    wearout attacks, arXiv 2508.16868).  The search is a seeded
+    candidate pool refined by beam hill-climbing; every draw flows
+    through named ``adversary.*`` RNG streams keyed by ``seed``, and
+    candidate scoring reuses the packed SP profiler, so results are
+    byte-identical for any worker count.
+
+    Attributes:
+        seed: Seed for the ``adversary.*`` RNG streams (candidate
+            generation, mutation, attacked-subset draw).
+        candidates: Seeded candidate streams in the initial pool.
+        rounds: Beam-refinement rounds after seeding.  Round
+            checkpoints are keyed by round index (never by the total),
+            so a longer resumed search extends a shorter run's prefix.
+        beam: Survivors kept per round.
+        mutations: Mutants spawned per survivor per round.
+        stream_ops: Operations per candidate operand stream.
+        mutation_ops: Stream positions rewritten per mutation.
+        lanes: Packed stimulus lanes used when profiling candidates.
+        drain_cycles: Pipeline drain cycles appended per profile.
+        acceleration_cap: Upper bound on the attack's onset
+            acceleration factor (physical wearout saturates; an
+            unbounded power law would not).
+        attack_fraction: Fraction of the fleet the attacker reaches
+            (1.0: every device runs the attacker's stream).
+        workers: Fork workers for candidate profiling; 0 = one per
+            CPU.  Never enters cache keys or results.
+    """
+
+    seed: int = 99
+    candidates: int = 8
+    rounds: int = 3
+    beam: int = 3
+    mutations: int = 4
+    stream_ops: int = 192
+    mutation_ops: int = 24
+    lanes: int = 64
+    drain_cycles: int = 2
+    acceleration_cap: float = 6.0
+    attack_fraction: float = 1.0
+    workers: int = 1
+
+
+@dataclass
+class ResponseConfig:
+    """Detection→response reconfiguration modelling (``repro.response``).
+
+    On detection, an operator can derate the clock, re-synthesize the
+    violating logic, or approximate the violating cone (automated
+    design approximation against aging, arXiv 2203.07962).  The engine
+    evaluates each policy against the unit's aged timing and reports
+    recovered lifetime vs accuracy/frequency cost.
+
+    Attributes:
+        policies: Response policies to evaluate, in order:
+            ``"derate"`` (stretch the clock period until the mission-age
+            violations clear), ``"resynth"`` (re-synthesize: optimize
+            the netlist, prove exactness with the lifting engine's
+            equivalence checker, and model the violating cone's cells
+            as fresh silicon), ``"approximate"`` (bypass the violating
+            cone's capture logic and measure the accuracy cost).
+        derate_step / max_derate: Clock-derating search grid (fractions
+            of the signed-off period).
+        mission_years: Deployment window recovery is measured against.
+        age_grid: Ages (years) swept when locating violation onset;
+            scans early-exit at the first violating age.
+        censor_factor: Onset assigned when a policy pushes the first
+            violation past the grid horizon (right-censored), as a
+            multiple of the last grid age.
+        equiv_depth / equiv_conflict_budget: Sequential-equivalence
+            check parameters (:func:`repro.formal.equiv
+            .check_equivalence`).
+        accuracy_samples: Random operand frames simulated on original
+            vs approximated netlists to estimate the accuracy cost.
+        accuracy_depth: Cycles each frame is held so results reach the
+            output flops.
+        seed: Seed for the ``response.accuracy`` RNG stream.
+        workers: Fork workers for re-profiling modified netlists;
+            0 = one per CPU.  Never enters cache keys or results.
+    """
+
+    policies: Tuple[str, ...] = ("derate", "resynth", "approximate")
+    derate_step: float = 0.02
+    max_derate: float = 0.30
+    mission_years: float = 10.0
+    age_grid: Tuple[float, ...] = tuple(float(a) for a in range(1, 17))
+    censor_factor: float = 1.5
+    equiv_depth: int = 3
+    equiv_conflict_budget: int = 150_000
+    accuracy_samples: int = 128
+    accuracy_depth: int = 3
+    seed: int = 17
     workers: int = 1
 
 
@@ -341,6 +452,8 @@ class VegaConfig:
     campaign: CampaignConfig = field(default_factory=CampaignConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
     surrogate: SurrogateConfig = field(default_factory=SurrogateConfig)
+    adversary: AdversaryConfig = field(default_factory=AdversaryConfig)
+    response: ResponseConfig = field(default_factory=ResponseConfig)
     cache_dir: Optional[str] = None
 
     def with_mitigation(self, enabled: bool = True) -> "VegaConfig":

@@ -1,0 +1,28 @@
+"""Detection→response reconfiguration scenarios (ROADMAP item 4b).
+
+Detection is only half the fleet story: once Vega flags a device whose
+timing is eroding, the operator must *do* something.  Following the
+automated design-approximation line of work (arXiv 2203.07962) and the
+aging-monitor survey's reconfiguration taxonomy (arXiv 2007.07829),
+this package models three response policies against the unit's aged
+timing and reports recovered lifetime vs accuracy/frequency cost:
+
+* **derate** — stretch the clock period until mission-age violations
+  clear (frequency cost, no logic change);
+* **resynth** — re-synthesize: optimize the netlist, *prove* exactness
+  with the lifting engine's sequential equivalence checker, and model
+  the violating cone's cells as fresh silicon (area cost);
+* **approximate** — bypass the violating cone's capture logic (netlist
+  clone surgery) and measure the output-accuracy cost with packed
+  co-simulation.
+
+:class:`~repro.response.engine.ResponseEngine` evaluates the policies
+(resumable, per-policy checkpoints, byte-identical for any worker
+count); :class:`~repro.response.report.ResponseReport` is the
+canonical-JSON artifact behind ``repro respond``.
+"""
+
+from .engine import ResponseEngine
+from .report import ResponseReport
+
+__all__ = ["ResponseEngine", "ResponseReport"]

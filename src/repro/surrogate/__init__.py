@@ -37,6 +37,7 @@ from .oracle import ExactAgingOracle
 from .triage import (
     TriageOutcome,
     TriagedDevice,
+    accelerated_triage,
     profiled_fleet,
     run_surrogate_campaign,
     surrogate_device_prior,
@@ -61,6 +62,7 @@ __all__ = [
     "TriageOutcome",
     "TriagedDevice",
     "ValidationReport",
+    "accelerated_triage",
     "calibrate_threshold",
     "device_features",
     "device_sp_vector",

@@ -336,3 +336,37 @@ def surrogate_device_prior(
         )
         priors[device.device_id] = table
     return priors
+
+
+def accelerated_triage(
+    outcome: TriageOutcome, acceleration: float
+) -> TriageOutcome:
+    """Re-triage a scored fleet under attacker-accelerated aging.
+
+    The adversary engine's acceleration factor divides every device's
+    time-to-onset (``repro.adversary``); the surrogate's predicted
+    onsets scale the same way, so an attack scenario can be re-triaged
+    without re-running the featurizer or the model.  Flags are
+    recomputed against the unchanged threshold; since onsets only
+    shrink, the flagged set grows monotonically with ``acceleration``.
+    """
+    acceleration = max(1.0, float(acceleration))
+    devices = []
+    for device in outcome.devices:
+        onset = device.predicted_onset_years / acceleration
+        devices.append(
+            TriagedDevice(
+                index=device.index,
+                device_id=device.device_id,
+                corner=device.corner,
+                intensity=device.intensity,
+                predicted_onset_years=float(onset),
+                predicted_slack_ns=device.predicted_slack_ns,
+                flagged=bool(onset <= outcome.threshold),
+            )
+        )
+    return TriageOutcome(
+        threshold=outcome.threshold,
+        mission_years=outcome.mission_years,
+        devices=devices,
+    )
